@@ -1,0 +1,214 @@
+//! "Client Pequod" (§5.2): the Pequod store without cache joins.
+//!
+//! Application clients maintain timelines themselves: a post is fanned
+//! out by the posting client as one timeline write per follower, and a
+//! new subscription is backfilled by the subscribing client. This
+//! isolates the cost of server-managed computation: same store, no
+//! joins, many more RPCs.
+
+use pequod_core::Engine;
+use pequod_store::{Key, KeyRange};
+use pequod_workloads::rpc::RpcMeter;
+use pequod_workloads::twip::{post_key, sub_key, timeline_range, user_name, TwipBackend};
+use pequod_workloads::SocialGraph;
+
+/// Twip on a join-less Pequod store with client-side fan-out.
+pub struct ClientPequodTwip {
+    /// The engine (no joins installed).
+    pub engine: Engine,
+    meter: RpcMeter,
+}
+
+impl ClientPequodTwip {
+    /// Creates the backend.
+    pub fn new(engine: Engine) -> ClientPequodTwip {
+        ClientPequodTwip {
+            engine,
+            meter: RpcMeter::new(),
+        }
+    }
+
+    fn reverse_key(poster: u32, user: u32) -> String {
+        format!("rs|{}|{}", user_name(poster), user_name(user))
+    }
+
+    /// The followers of `poster`, via the application-maintained reverse
+    /// index (one scan RPC).
+    fn followers(&mut self, poster: u32) -> Vec<String> {
+        let range = KeyRange::prefix(format!("rs|{}|", user_name(poster)));
+        let res = self.engine.scan(&range);
+        self.meter.scan_with_reply(&range.first, &res.pairs);
+        res.pairs
+            .iter()
+            .map(|(k, _)| {
+                String::from_utf8_lossy(k.components().last().unwrap()).into_owned()
+            })
+            .collect()
+    }
+}
+
+impl TwipBackend for ClientPequodTwip {
+    fn name(&self) -> &'static str {
+        "client-pequod"
+    }
+
+    fn load_graph(&mut self, graph: &SocialGraph) {
+        for u in 0..graph.users() {
+            for &p in graph.followees(u) {
+                self.engine.put(sub_key(u, p), "1");
+                self.engine.put(Self::reverse_key(p, u), "1");
+            }
+        }
+    }
+
+    fn load_post(&mut self, poster: u32, time: u64, text: &str) {
+        self.engine.put(post_key(poster, time, false), text.to_string());
+        // Client-managed timelines are materialized at load time too.
+        let range = KeyRange::prefix(format!("rs|{}|", user_name(poster)));
+        let followers: Vec<String> = self
+            .engine
+            .scan(&range)
+            .pairs
+            .iter()
+            .map(|(k, _)| String::from_utf8_lossy(k.components().last().unwrap()).into_owned())
+            .collect();
+        for f in followers {
+            self.engine.put(
+                format!("t|{f}|{time:010}|{}", user_name(poster)),
+                text.to_string(),
+            );
+        }
+    }
+
+    fn post(&mut self, poster: u32, time: u64, text: &str) {
+        // 1 RPC for the post itself.
+        let pkey = Key::from(post_key(poster, time, false));
+        let value = pequod_store::Value::from(text.as_bytes().to_vec());
+        self.meter.put(&pkey, &value);
+        self.engine.put(pkey, value.clone());
+        // 1 RPC to read the follower list, then 1 RPC per follower.
+        let followers = self.followers(poster);
+        for f in followers {
+            let tkey = Key::from(format!("t|{f}|{time:010}|{}", user_name(poster)));
+            self.meter.put(&tkey, &value);
+            self.engine.put(tkey, value.clone());
+        }
+    }
+
+    fn subscribe(&mut self, user: u32, poster: u32) {
+        let skey = Key::from(sub_key(user, poster));
+        let one = pequod_store::Value::from_static(b"1");
+        self.meter.put(&skey, &one);
+        self.engine.put(skey, one.clone());
+        let rkey = Key::from(Self::reverse_key(poster, user));
+        self.meter.put(&rkey, &one);
+        self.engine.put(rkey, one);
+        // Backfill: read the poster's tweets and write them into our
+        // timeline (what the cache join does server-side).
+        let prange = KeyRange::prefix(format!("p|{}|", user_name(poster)));
+        let posts = self.engine.scan(&prange);
+        self.meter.scan_with_reply(&prange.first, &posts.pairs);
+        for (k, v) in posts.pairs {
+            let time = k.components().nth(2).unwrap();
+            let tkey = Key::from(
+                [
+                    b"t|".as_slice(),
+                    user_name(user).as_bytes(),
+                    b"|",
+                    time,
+                    b"|",
+                    user_name(poster).as_bytes(),
+                ]
+                .concat(),
+            );
+            self.meter.put(&tkey, &v);
+            self.engine.put(tkey, v);
+        }
+    }
+
+    fn check(&mut self, user: u32, since: u64) -> usize {
+        let range = timeline_range(user, since);
+        let res = self.engine.scan(&range);
+        self.meter.scan_with_reply(&range.first, &res.pairs);
+        res.pairs.len()
+    }
+
+    fn rpcs(&self) -> u64 {
+        self.meter.rpcs
+    }
+
+    fn rpc_bytes(&self) -> u64 {
+        self.meter.bytes
+    }
+
+    fn reset_meter(&mut self) {
+        self.meter = RpcMeter::new();
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.engine.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pequod_core::EngineConfig;
+    use pequod_workloads::GraphConfig;
+
+    #[test]
+    fn client_fanout_builds_timelines() {
+        let mut b = ClientPequodTwip::new(Engine::new(EngineConfig::default()));
+        b.subscribe(1, 2);
+        b.post(2, 100, "Hi");
+        assert_eq!(b.check(1, 0), 1);
+        assert_eq!(b.check(1, 101), 0);
+        // poster 2 also posts to a user who follows later: backfill covers it
+        b.post(2, 150, "second");
+        b.subscribe(3, 2);
+        assert_eq!(b.check(3, 0), 2, "subscription backfill");
+    }
+
+    #[test]
+    fn post_costs_one_rpc_per_follower() {
+        let mut b = ClientPequodTwip::new(Engine::new(EngineConfig::default()));
+        for u in 1..=10 {
+            b.subscribe(u, 0);
+        }
+        b.reset_meter();
+        b.post(0, 100, "fan out");
+        // 1 post put + 1 follower scan(+reply) + 10 timeline puts = 13
+        assert_eq!(b.rpcs(), 13);
+    }
+
+    #[test]
+    fn matches_pequod_results_on_same_workload() {
+        use pequod_workloads::twip::{run_twip, PequodTwip, TwipMix, TwipWorkload};
+        let g = SocialGraph::generate(&GraphConfig {
+            users: 200,
+            avg_followees: 6.0,
+            zipf_alpha: 1.2,
+            seed: 8,
+        });
+        let mix = TwipMix {
+            active_fraction: 0.5,
+            checks_per_user: 4,
+            seed: 9,
+            ..TwipMix::default()
+        };
+        let w = TwipWorkload::generate(&g, &mix);
+        let mut pq = PequodTwip::new(Engine::new(EngineConfig::default()));
+        let s_pq = run_twip(&mut pq, &g, &w, 300);
+        let mut cp = ClientPequodTwip::new(Engine::new(EngineConfig::default()));
+        let s_cp = run_twip(&mut cp, &g, &w, 300);
+        // Both serve the same timeline entries...
+        assert_eq!(s_pq.entries_returned, s_cp.entries_returned);
+        // ...but the client-managed system pays many more RPCs.
+        assert!(
+            s_cp.rpcs > s_pq.rpcs,
+            "client {} vs pequod {}",
+            s_cp.rpcs,
+            s_pq.rpcs
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! `pequod-baselines` — the comparison systems of Figure 7.
+//!
+//! Each system implements [`pequod_workloads::twip::TwipBackend`] and
+//! runs the identical Twip workload:
+//!
+//! * [`ClientPequodTwip`] — the Pequod store without joins; clients fan
+//!   posts out and backfill subscriptions themselves.
+//! * [`RedisTwip`] — an unordered hash store with sorted-set timelines
+//!   (client-managed, `O(1)` point ops).
+//! * [`MemcachedTwip`] — a hash store whose only value is a string;
+//!   timelines grow by slab-reallocating appends and every check
+//!   transfers the whole string.
+//! * [`PostgresTwip`] — Twip on [`minidb::MiniDb`], a small relational
+//!   engine with B-tree indexes, WAL, and row triggers maintaining a
+//!   timeline table (the paper's trigger-based materialized view).
+//!
+//! All backends meter their logical RPCs through the real wire codec so
+//! relative RPC cost is comparable (see `pequod_workloads::rpc`).
+
+#![warn(missing_docs)]
+
+pub mod client_pequod;
+pub mod memcached_like;
+pub mod minidb;
+pub mod pg_twip;
+pub mod redis_like;
+
+pub use client_pequod::ClientPequodTwip;
+pub use memcached_like::MemcachedTwip;
+pub use minidb::MiniDb;
+pub use pg_twip::PostgresTwip;
+pub use redis_like::RedisTwip;

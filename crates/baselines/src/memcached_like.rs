@@ -1,0 +1,237 @@
+//! A memcached-style comparison system (§5.2): an unordered hash store
+//! whose only value type is a string; timelines are strings that grow by
+//! append.
+//!
+//! The paper: "memcached [stores timelines] as a string to which tweets
+//! are appended" and "memcached runs a factor of 3x slower than Redis:
+//! the Twip workload has more writes than memcached prefers". Each
+//! append reallocates the slab (modelled as a fresh buffer copy), and a
+//! timeline check transfers and parses the whole string.
+
+use pequod_store::Key;
+use pequod_workloads::rpc::RpcMeter;
+use pequod_workloads::twip::{user_name, TwipBackend};
+use pequod_workloads::SocialGraph;
+use std::collections::HashMap;
+
+/// Twip on a memcached-like cache.
+pub struct MemcachedTwip {
+    map: HashMap<Vec<u8>, Vec<u8>>,
+    meter: RpcMeter,
+}
+
+impl Default for MemcachedTwip {
+    fn default() -> Self {
+        MemcachedTwip::new()
+    }
+}
+
+impl MemcachedTwip {
+    /// Creates an empty store.
+    pub fn new() -> MemcachedTwip {
+        MemcachedTwip {
+            map: HashMap::new(),
+            meter: RpcMeter::new(),
+        }
+    }
+
+    /// memcached APPEND: the slab is reallocated, so model a full copy.
+    fn append(&mut self, key: &[u8], record: &[u8]) {
+        match self.map.get_mut(key) {
+            Some(v) => {
+                let mut grown = Vec::with_capacity(v.len() + record.len());
+                grown.extend_from_slice(v);
+                grown.extend_from_slice(record);
+                *v = grown;
+            }
+            None => {
+                self.map.insert(key.to_vec(), record.to_vec());
+            }
+        }
+    }
+
+    fn get(&self, key: &[u8]) -> Option<&Vec<u8>> {
+        self.map.get(key)
+    }
+
+    /// Meters a write command: one request frame.
+    fn meter_cmd(&mut self, name: &[u8], payload: usize) {
+        let key = Key::from(name);
+        let value = pequod_store::Value::from(vec![0u8; payload]);
+        self.meter.put(&key, &value);
+    }
+
+    /// Meters a GET: request frame plus reply frame carrying the value.
+    fn meter_read(&mut self, name: &[u8], reply: usize) {
+        let key = Key::from(name);
+        self.meter.put(&key, &pequod_store::Value::new());
+        let value = pequod_store::Value::from(vec![0u8; reply]);
+        self.meter.put(&Key::from("reply"), &value);
+    }
+
+    fn record(poster: u32, time: u64, text: &str) -> Vec<u8> {
+        format!("{time:010}|{}|{}\n", user_name(poster), text).into_bytes()
+    }
+
+    fn tl_key(user: u32) -> Vec<u8> {
+        format!("tl:{}", user_name(user)).into_bytes()
+    }
+
+    fn posts_key(poster: u32) -> Vec<u8> {
+        format!("posts:{}", user_name(poster)).into_bytes()
+    }
+
+    fn followers_key(poster: u32) -> Vec<u8> {
+        format!("followers:{}", user_name(poster)).into_bytes()
+    }
+
+    /// Parses a timeline string, counting records at or after `since`.
+    fn count_since(blob: &[u8], since: u64) -> usize {
+        blob.split(|&b| b == b'\n')
+            .filter(|rec| {
+                if rec.len() < 10 {
+                    return false;
+                }
+                std::str::from_utf8(&rec[..10])
+                    .ok()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .map(|t| t >= since)
+                    .unwrap_or(false)
+            })
+            .count()
+    }
+}
+
+impl TwipBackend for MemcachedTwip {
+    fn name(&self) -> &'static str {
+        "memcached"
+    }
+
+    fn load_graph(&mut self, graph: &SocialGraph) {
+        for u in 0..graph.users() {
+            for &p in graph.followees(u) {
+                let rec = format!("{}\n", user_name(u)).into_bytes();
+                self.append(&Self::followers_key(p), &rec);
+            }
+        }
+    }
+
+    fn load_post(&mut self, poster: u32, time: u64, text: &str) {
+        let rec = Self::record(poster, time, text);
+        self.append(&Self::posts_key(poster), &rec);
+        let followers: Vec<Vec<u8>> = self
+            .get(&Self::followers_key(poster))
+            .map(|blob| {
+                blob.split(|&b| b == b'\n')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.to_vec())
+                    .collect()
+            })
+            .unwrap_or_default();
+        for f in followers {
+            let tl = [b"tl:".as_slice(), &f].concat();
+            self.append(&tl, &rec);
+        }
+    }
+
+    fn post(&mut self, poster: u32, time: u64, text: &str) {
+        let rec = Self::record(poster, time, text);
+        // APPEND own posts (1 RPC).
+        self.meter_cmd(b"APPEND posts", rec.len());
+        self.append(&Self::posts_key(poster), &rec);
+        // GET followers (request + reply, whole list transferred).
+        let blob = self.get(&Self::followers_key(poster)).cloned();
+        self.meter_read(
+            b"GET followers",
+            blob.as_ref().map(|b| b.len()).unwrap_or(0),
+        );
+        let followers: Vec<Vec<u8>> = blob
+            .map(|b| {
+                b.split(|&x| x == b'\n')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.to_vec())
+                    .collect()
+            })
+            .unwrap_or_default();
+        // APPEND per follower timeline (1 RPC each).
+        for f in followers {
+            self.meter_cmd(b"APPEND tl", rec.len());
+            let tl = [b"tl:".as_slice(), &f].concat();
+            self.append(&tl, &rec);
+        }
+    }
+
+    fn subscribe(&mut self, user: u32, poster: u32) {
+        let rec = format!("{}\n", user_name(user)).into_bytes();
+        self.meter_cmd(b"APPEND followers", rec.len());
+        self.append(&Self::followers_key(poster), &rec);
+        // Backfill: GET the poster's posts, APPEND them to our timeline.
+        let blob = self.get(&Self::posts_key(poster)).cloned();
+        self.meter_read(b"GET posts", blob.as_ref().map(|b| b.len()).unwrap_or(0));
+        if let Some(blob) = blob {
+            self.meter_cmd(b"APPEND tl backfill", blob.len());
+            self.append(&Self::tl_key(user), &blob);
+        }
+    }
+
+    fn check(&mut self, user: u32, since: u64) -> usize {
+        // GET transfers the entire timeline string, every time.
+        let blob = self.get(&Self::tl_key(user)).cloned();
+        self.meter_read(b"GET tl", blob.as_ref().map(|b| b.len()).unwrap_or(0));
+        blob.map(|b| Self::count_since(&b, since)).unwrap_or(0)
+    }
+
+    fn rpcs(&self) -> u64 {
+        self.meter.rpcs
+    }
+
+    fn rpc_bytes(&self) -> u64 {
+        self.meter.bytes
+    }
+
+    fn reset_meter(&mut self) {
+        self.meter = RpcMeter::new();
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.map.iter().map(|(k, v)| k.len() + v.len() + 48).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_based_timelines_work() {
+        let mut m = MemcachedTwip::new();
+        m.subscribe(1, 2);
+        m.post(2, 100, "first");
+        m.post(2, 200, "second");
+        assert_eq!(m.check(1, 0), 2);
+        assert_eq!(m.check(1, 150), 1);
+        assert_eq!(m.check(1, 201), 0);
+    }
+
+    #[test]
+    fn backfill_on_subscribe() {
+        let mut m = MemcachedTwip::new();
+        m.post(2, 100, "early");
+        m.subscribe(1, 2);
+        assert_eq!(m.check(1, 0), 1);
+    }
+
+    #[test]
+    fn check_transfers_whole_timeline() {
+        let mut m = MemcachedTwip::new();
+        m.subscribe(1, 2);
+        for t in 0..50 {
+            m.post(2, t, "a tweet with some length to it");
+        }
+        m.reset_meter();
+        m.check(1, 49); // asks for 1 entry...
+        let small_ask = m.rpc_bytes();
+        // ...but pays for the full string: far more than one record.
+        assert!(small_ask > 1000, "bytes {small_ask}");
+    }
+}

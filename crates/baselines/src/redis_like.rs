@@ -1,0 +1,249 @@
+//! A Redis-style comparison system (§5.2): an unordered hash-table
+//! store with sorted-set values, client-managed timelines.
+//!
+//! Mirrors the paper's Redis configuration: "Redis stores timelines as
+//! sorted sets of tweets" and clients actively manage user timelines
+//! (fan-out on post). Point operations are `O(1)` hash lookups — the
+//! structural advantage the paper credits for Redis beating client
+//! Pequod.
+
+use pequod_store::Key;
+use pequod_workloads::rpc::RpcMeter;
+use pequod_workloads::twip::{user_name, TwipBackend};
+use pequod_workloads::SocialGraph;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A value in the Redis-like store.
+enum RVal {
+    /// Sorted set: (score, member) ordered; member payload carried
+    /// inline (tweets are members, scores are times).
+    ZSet(BTreeMap<(u64, Vec<u8>), ()>),
+    /// Unordered set (follower lists).
+    Set(HashSet<Vec<u8>>),
+}
+
+/// Twip on a Redis-like cache.
+pub struct RedisTwip {
+    map: HashMap<Vec<u8>, RVal>,
+    meter: RpcMeter,
+}
+
+impl Default for RedisTwip {
+    fn default() -> Self {
+        RedisTwip::new()
+    }
+}
+
+impl RedisTwip {
+    /// Creates an empty store.
+    pub fn new() -> RedisTwip {
+        RedisTwip {
+            map: HashMap::new(),
+            meter: RpcMeter::new(),
+        }
+    }
+
+    /// Number of top-level keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn zadd(&mut self, key: &[u8], score: u64, member: Vec<u8>) {
+        let entry = self
+            .map
+            .entry(key.to_vec())
+            .or_insert_with(|| RVal::ZSet(BTreeMap::new()));
+        if let RVal::ZSet(z) = entry {
+            z.insert((score, member), ());
+        }
+    }
+
+    fn sadd(&mut self, key: &[u8], member: Vec<u8>) {
+        let entry = self
+            .map
+            .entry(key.to_vec())
+            .or_insert_with(|| RVal::Set(HashSet::new()));
+        if let RVal::Set(s) = entry {
+            s.insert(member);
+        }
+    }
+
+    fn smembers(&self, key: &[u8]) -> Vec<Vec<u8>> {
+        match self.map.get(key) {
+            Some(RVal::Set(s)) => s.iter().cloned().collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    fn zrangebyscore(&self, key: &[u8], min: u64) -> Vec<(u64, Vec<u8>)> {
+        match self.map.get(key) {
+            Some(RVal::ZSet(z)) => z
+                .range((min, Vec::new())..)
+                .map(|((s, m), _)| (*s, m.clone()))
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Meters a write command: one request frame.
+    fn meter_cmd(&mut self, name: &[u8], payload_len: usize) {
+        // Model a Redis command frame: command name key + payload bytes.
+        let key = Key::from(name);
+        let value = pequod_store::Value::from(vec![0u8; payload_len]);
+        self.meter.put(&key, &value);
+    }
+
+    /// Meters a read command: request frame plus reply frame.
+    fn meter_read(&mut self, name: &[u8], reply_len: usize) {
+        let key = Key::from(name);
+        self.meter.put(&key, &pequod_store::Value::new());
+        let reply = pequod_store::Value::from(vec![0u8; reply_len]);
+        self.meter.put(&Key::from("reply"), &reply);
+    }
+
+    fn tl_key(user: u32) -> Vec<u8> {
+        format!("tl:{}", user_name(user)).into_bytes()
+    }
+
+    fn posts_key(poster: u32) -> Vec<u8> {
+        format!("posts:{}", user_name(poster)).into_bytes()
+    }
+
+    fn followers_key(poster: u32) -> Vec<u8> {
+        format!("followers:{}", user_name(poster)).into_bytes()
+    }
+
+    fn member(poster: u32, text: &str) -> Vec<u8> {
+        format!("{}:{}", user_name(poster), text).into_bytes()
+    }
+}
+
+impl TwipBackend for RedisTwip {
+    fn name(&self) -> &'static str {
+        "redis"
+    }
+
+    fn load_graph(&mut self, graph: &SocialGraph) {
+        for u in 0..graph.users() {
+            for &p in graph.followees(u) {
+                self.sadd(&Self::followers_key(p), user_name(u).into_bytes());
+                self.map
+                    .entry(format!("following:{}", user_name(u)).into_bytes())
+                    .or_insert_with(|| RVal::Set(HashSet::new()));
+                self.sadd(
+                    &format!("following:{}", user_name(u)).into_bytes(),
+                    user_name(p).into_bytes(),
+                );
+            }
+        }
+    }
+
+    fn load_post(&mut self, poster: u32, time: u64, text: &str) {
+        self.zadd(&Self::posts_key(poster), time, Self::member(poster, text));
+        let followers = self.smembers(&Self::followers_key(poster));
+        for f in followers {
+            let tl = [b"tl:".as_slice(), &f].concat();
+            self.zadd(&tl, time, Self::member(poster, text));
+        }
+    }
+
+    fn post(&mut self, poster: u32, time: u64, text: &str) {
+        // ZADD the poster's own posts (1 RPC).
+        self.meter_cmd(b"ZADD posts", text.len() + 16);
+        self.zadd(&Self::posts_key(poster), time, Self::member(poster, text));
+        // SMEMBERS followers (request + reply)...
+        let followers = self.smembers(&Self::followers_key(poster));
+        self.meter_read(b"SMEMBERS followers", followers.len() * 8);
+        // ...then one ZADD per follower timeline.
+        for f in followers {
+            self.meter_cmd(b"ZADD tl", text.len() + 16);
+            let tl = [b"tl:".as_slice(), &f].concat();
+            self.zadd(&tl, time, Self::member(poster, text));
+        }
+    }
+
+    fn subscribe(&mut self, user: u32, poster: u32) {
+        self.meter_cmd(b"SADD following", 16);
+        self.sadd(
+            &format!("following:{}", user_name(user)).into_bytes(),
+            user_name(poster).into_bytes(),
+        );
+        self.meter_cmd(b"SADD followers", 16);
+        self.sadd(&Self::followers_key(poster), user_name(user).into_bytes());
+        // Backfill from the poster's post list.
+        let posts = self.zrangebyscore(&Self::posts_key(poster), 0);
+        self.meter_read(b"ZRANGEBYSCORE posts", posts.len() * 24);
+        for (score, member) in posts {
+            self.meter_cmd(b"ZADD tl backfill", member.len() + 16);
+            self.zadd(&Self::tl_key(user), score, member);
+        }
+    }
+
+    fn check(&mut self, user: u32, since: u64) -> usize {
+        let entries = self.zrangebyscore(&Self::tl_key(user), since);
+        let bytes: usize = entries.iter().map(|(_, m)| m.len() + 16).sum();
+        self.meter_read(b"ZRANGEBYSCORE tl", bytes);
+        entries.len()
+    }
+
+    fn rpcs(&self) -> u64 {
+        self.meter.rpcs
+    }
+
+    fn rpc_bytes(&self) -> u64 {
+        self.meter.bytes
+    }
+
+    fn reset_meter(&mut self) {
+        self.meter = RpcMeter::new();
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let mut bytes = 0;
+        for (k, v) in &self.map {
+            bytes += k.len() + 48;
+            bytes += match v {
+                RVal::ZSet(z) => z.keys().map(|(_, m)| m.len() + 24).sum::<usize>(),
+                RVal::Set(s) => s.iter().map(|m| m.len() + 16).sum::<usize>(),
+            };
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timelines_are_sorted_and_filtered_by_score() {
+        let mut r = RedisTwip::new();
+        r.subscribe(1, 2);
+        r.post(2, 300, "late");
+        r.post(2, 100, "early");
+        assert_eq!(r.check(1, 0), 2);
+        assert_eq!(r.check(1, 200), 1);
+        assert_eq!(r.check(1, 301), 0);
+    }
+
+    #[test]
+    fn backfill_on_subscribe() {
+        let mut r = RedisTwip::new();
+        r.post(2, 100, "before follow");
+        r.subscribe(1, 2);
+        assert_eq!(r.check(1, 0), 1);
+    }
+
+    #[test]
+    fn unfollowed_posts_do_not_appear() {
+        let mut r = RedisTwip::new();
+        r.subscribe(1, 2);
+        r.post(3, 100, "stranger");
+        assert_eq!(r.check(1, 0), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Figure 7: time to process a Twip experiment to completion on Pequod
+//! and the comparison systems.
+//!
+//! Paper result (EC2 cr1.8xlarge, 1.8M-user sampled graph):
+//!
+//! ```text
+//! Pequod        197.06 s (1.00x)
+//! Redis         262.62 s (1.33x)
+//! Client Pequod 323.29 s (1.64x)
+//! memcached     784.43 s (3.98x)
+//! PostgreSQL   1882.78 s (9.55x)
+//! ```
+//!
+//! We run the same op mix (5% logins / 9% subscriptions / 85% checks /
+//! 1% posts, 70% active users) at laptop scale and report the same
+//! table. Expect the ordering and rough factors to reproduce, not the
+//! absolute seconds.
+
+use pequod_baselines::{ClientPequodTwip, MemcachedTwip, PostgresTwip, RedisTwip};
+use pequod_bench::{print_table, ratio, secs, twip_graph, Scale};
+use pequod_core::{Engine, EngineConfig};
+use pequod_store::StoreConfig;
+use pequod_workloads::twip::{run_twip, PequodTwip, TwipBackend, TwipMix, TwipRunStats, TwipWorkload};
+
+fn main() {
+    let scale = Scale::from_args();
+    let users = scale.count(3000) as u32;
+    let graph = twip_graph(users, 0x5e7);
+    let mix = TwipMix {
+        active_fraction: 0.7,
+        checks_per_user: 15,
+        seed: 0xf16_7,
+        ..TwipMix::default()
+    };
+    let workload = TwipWorkload::generate(&graph, &mix);
+    let initial_posts = scale.count(9000);
+    let h = workload.histogram();
+    // Expected deliveries per post: followers weighted by post probability.
+    let wsum: f64 = (0..users).map(|u| graph.post_weight(u)).sum();
+    let fanout: f64 = (0..users)
+        .map(|u| graph.post_weight(u) * graph.follower_count(u) as f64)
+        .sum::<f64>()
+        / wsum;
+    println!(
+        "fig7: {} users, {} edges, effective fan-out {:.0}, ops = {} logins / {} subs / {} checks / {} posts",
+        users,
+        graph.edges(),
+        fanout,
+        h[0],
+        h[1],
+        h[2],
+        h[3]
+    );
+
+    let pequod_engine = || {
+        Engine::new(EngineConfig::with_store(
+            StoreConfig::flat().with_subtable("t|", 2).with_subtable("p|", 2),
+        ))
+    };
+
+    let mut results: Vec<(String, TwipRunStats)> = Vec::new();
+    {
+        let mut b = PequodTwip::new(pequod_engine());
+        let s = run_twip(&mut b, &graph, &workload, initial_posts);
+        results.push((b.name().to_string(), s));
+    }
+    {
+        let mut b = RedisTwip::new();
+        let s = run_twip(&mut b, &graph, &workload, initial_posts);
+        results.push((b.name().to_string(), s));
+    }
+    {
+        let mut b = ClientPequodTwip::new(pequod_engine());
+        let s = run_twip(&mut b, &graph, &workload, initial_posts);
+        results.push((b.name().to_string(), s));
+    }
+    {
+        let mut b = MemcachedTwip::new();
+        let s = run_twip(&mut b, &graph, &workload, initial_posts);
+        results.push((b.name().to_string(), s));
+    }
+    {
+        let mut b = PostgresTwip::new();
+        let s = run_twip(&mut b, &graph, &workload, initial_posts);
+        results.push((b.name().to_string(), s));
+    }
+
+    let base = results[0].1.elapsed;
+    let paper = [
+        ("pequod", 1.00),
+        ("redis", 1.33),
+        ("client-pequod", 1.64),
+        ("memcached", 3.98),
+        ("postgresql", 9.55),
+    ];
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(name, s)| {
+            let paper_factor = paper
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, f)| format!("{f:.2}x"))
+                .unwrap_or_default();
+            vec![
+                name.clone(),
+                secs(s.elapsed),
+                ratio(s.elapsed / base),
+                paper_factor,
+                s.rpcs.to_string(),
+                format!("{:.1}", s.rpc_bytes as f64 / (1 << 20) as f64),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 7 — Twip system comparison (smaller is better)",
+        &["system", "runtime (s)", "vs pequod", "paper", "rpcs", "rpc MiB"],
+        &rows,
+    );
+}

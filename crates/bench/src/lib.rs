@@ -1,0 +1,129 @@
+//! `pequod-bench` — shared harness utilities for the figure binaries.
+//!
+//! Each binary regenerates one artifact of the paper's evaluation:
+//!
+//! | Binary      | Paper artifact                                    |
+//! |-------------|---------------------------------------------------|
+//! | `fig7`      | Figure 7 — system comparison table                |
+//! | `fig8`      | Figure 8 — materialization strategies             |
+//! | `fig9`      | Figure 9 — Newp interleaved vs non-interleaved    |
+//! | `fig10`     | Figure 10 — scalability vs compute servers        |
+//! | `ablations` | §4.1–§4.3 and §3.2 in-text optimization factors   |
+//!
+//! Run with `--scale S` (default 1) to grow the workload; the default
+//! finishes in seconds on a laptop while preserving the paper's ratios
+//! (edges/user, op mix, check:post ratios).
+
+#![warn(missing_docs)]
+
+use pequod_workloads::{GraphConfig, SocialGraph};
+
+/// Harness scale parsed from the command line.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Multiplier on workload size (users, ops).
+    pub factor: f64,
+}
+
+impl Scale {
+    /// Parses `--scale N` (default 1.0) from `std::env::args`.
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        let mut factor = 1.0;
+        for i in 0..args.len() {
+            if args[i] == "--scale" {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) {
+                    factor = v;
+                }
+            }
+        }
+        Scale { factor }
+    }
+
+    /// Scales a base count.
+    pub fn count(&self, base: u64) -> u64 {
+        ((base as f64) * self.factor).round().max(1.0) as u64
+    }
+}
+
+/// The standard Twip experiment graph at a given user count: average
+/// followee count and celebrity skew follow the sampled 2009 subgraph's
+/// ratios (≈40 edges/user).
+pub fn twip_graph(users: u32, seed: u64) -> SocialGraph {
+    SocialGraph::generate(&GraphConfig {
+        users,
+        avg_followees: 40.0_f64.min(users as f64 / 4.0),
+        zipf_alpha: 1.2,
+        seed,
+    })
+}
+
+/// Prints a Markdown-ish results table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!(" {:w$} |", c, w = widths[i]));
+        }
+        s
+    };
+    println!(
+        "{}",
+        line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
+    );
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("{}", line(&sep));
+    for row in rows {
+        println!("{}", line(row));
+    }
+}
+
+/// Formats seconds with 2 decimals.
+pub fn secs(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a ratio like the paper's `(1.33x)`.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a byte count as MiB.
+pub fn mib(x: usize) -> String {
+    format!("{:.1} MiB", x as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_counts() {
+        let s = Scale { factor: 2.5 };
+        assert_eq!(s.count(10), 25);
+        assert_eq!(s.count(0), 1);
+    }
+
+    #[test]
+    fn graph_helper_respects_small_sizes() {
+        let g = twip_graph(100, 1);
+        assert_eq!(g.users(), 100);
+        assert!(g.edges() > 100);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(secs(1.234), "1.23");
+        assert_eq!(ratio(1.5), "1.50x");
+        assert_eq!(mib(1024 * 1024), "1.0 MiB");
+    }
+}

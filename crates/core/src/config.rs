@@ -1,0 +1,95 @@
+//! Engine configuration: materialization policy and the optimization
+//! toggles measured by the paper's ablations.
+
+use pequod_store::StoreConfig;
+
+/// Global materialization strategy (§5.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MaterializationMode {
+    /// The paper's strategy: compute on demand, then keep
+    /// recently-accessed ranges eagerly and incrementally updated.
+    #[default]
+    Dynamic,
+    /// Materialize every join's full output range at install time and
+    /// keep all of it up to date ("full materialization").
+    Full,
+    /// Never cache computed data; every query recomputes from base data
+    /// ("no materialization").
+    None,
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Materialization strategy; `Dynamic` is Pequod's.
+    pub materialization: MaterializationMode,
+    /// Output hints (§4.2): cache the last aggregate output per updater,
+    /// avoiding a store lookup per maintenance event.
+    pub output_hints: bool,
+    /// Value sharing (§4.3): `copy` outputs share the source's buffer;
+    /// disabling forces a private copy per output (memory ablation).
+    pub value_sharing: bool,
+    /// Lazy maintenance for `check` sources (§3.2): log the modification
+    /// and apply at read time. Disabling applies check modifications
+    /// eagerly at write time.
+    pub lazy_checks: bool,
+    /// A join status range with more pending logged modifications than
+    /// this falls back to complete invalidation.
+    pub pending_log_limit: usize,
+    /// Table layout (subtable splits, §4.1).
+    pub store: StoreConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            materialization: MaterializationMode::Dynamic,
+            output_hints: true,
+            value_sharing: true,
+            lazy_checks: true,
+            pending_log_limit: 64,
+            store: StoreConfig::flat(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Dynamic materialization with the given store layout.
+    pub fn with_store(store: StoreConfig) -> EngineConfig {
+        EngineConfig {
+            store,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+/// Per-engine operation counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    /// Client-visible scans served.
+    pub scans: u64,
+    /// Client-visible writes applied.
+    pub writes: u64,
+    /// Join executions (fresh computations of a gap or pull query).
+    pub join_execs: u64,
+    /// Output pairs produced by join executions.
+    pub exec_outputs: u64,
+    /// Updater dispatches (store writes that hit at least the tree).
+    pub updater_fires: u64,
+    /// Eager maintenance operations applied (copy/aggregate updates).
+    pub eager_updates: u64,
+    /// Modifications logged for lazy application (partial invalidation).
+    pub mods_logged: u64,
+    /// Logged modifications applied at read time.
+    pub mods_applied: u64,
+    /// Complete invalidations of join status ranges.
+    pub complete_invalidations: u64,
+    /// Join status ranges materialized.
+    pub ranges_materialized: u64,
+    /// Aggregate updates answered from an output hint (§4.2).
+    pub hint_hits: u64,
+    /// Join status ranges evicted.
+    pub js_evictions: u64,
+    /// Base tables evicted.
+    pub base_evictions: u64,
+}

@@ -1,0 +1,576 @@
+//! The Pequod engine: an ordered key-value cache with installed cache
+//! joins, dynamic materialization, and incremental maintenance.
+//!
+//! One `Engine` corresponds to one single-threaded Pequod server process
+//! (the paper's servers are single-threaded and event-driven). All public
+//! operations take `&mut self`; cross-server concurrency lives in
+//! `pequod-net`.
+//!
+//! The write path (this file) applies a store modification and dispatches
+//! the updaters whose source ranges contain the key: eager maintenance
+//! for `copy` and aggregate sources, lazy invalidation for `check`
+//! sources (§3.2). The read path (`exec.rs`) validates join status
+//! ranges, executing joins over gaps and applying pending logged
+//! modifications.
+
+use crate::aggregate::{fmt_num, parse_num};
+use crate::config::{EngineConfig, EngineStats, MaterializationMode};
+use crate::status::{JsState, LoggedMod, StatusMap};
+use crate::types::{EngineError, JoinId, JsId, WriteKind};
+use crate::updater::{OutputHint, UpdaterEntry, UpdaterIndex};
+use bytes::Bytes;
+use pequod_join::{JoinSpec, Operator};
+use pequod_store::{
+    IntervalId, Key, KeyRange, LruTracker, RangeSet, Store, StoreStats, Value,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An evictable unit: a materialized join range or a remote/DB-backed
+/// table's cached base data (§2.5).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum EvictUnit {
+    /// A join status range (computed data).
+    Js(u32, JsId),
+    /// Cached base data of a remote table, by table prefix.
+    Base(Key),
+}
+
+/// The Pequod cache engine.
+pub struct Engine {
+    pub(crate) store: Store,
+    pub(crate) joins: Vec<Arc<JoinSpec>>,
+    pub(crate) status: Vec<StatusMap>,
+    pub(crate) updaters: UpdaterIndex,
+    /// Remote or database-backed tables: prefix → resident ranges.
+    pub(crate) remote: HashMap<Key, RangeSet>,
+    pub(crate) lru: LruTracker<EvictUnit>,
+    pub(crate) config: EngineConfig,
+    pub(crate) clock: u64,
+    pub(crate) stats: EngineStats,
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine {
+            store: Store::new(config.store.clone()),
+            joins: Vec::new(),
+            status: Vec::new(),
+            updaters: UpdaterIndex::new(),
+            remote: HashMap::new(),
+            lru: LruTracker::new(),
+            config,
+            clock: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Creates an engine with default (dynamic-materialization) config.
+    pub fn new_default() -> Engine {
+        Engine::new(EngineConfig::default())
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Store-level counters (keys, bytes).
+    pub fn store_stats(&self) -> &StoreStats {
+        self.store.stats()
+    }
+
+    /// Read-only access to the underlying store (testing/diagnostics).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Number of installed joins.
+    pub fn join_count(&self) -> usize {
+        self.joins.len()
+    }
+
+    /// The spec of an installed join.
+    pub fn join(&self, id: JoinId) -> &JoinSpec {
+        &self.joins[id.0 as usize]
+    }
+
+    /// Number of live updater entries.
+    pub fn updater_entries(&self) -> usize {
+        self.updaters.entry_count()
+    }
+
+    /// Number of materialized join status ranges across all joins.
+    pub fn materialized_ranges(&self) -> usize {
+        self.status.iter().map(|s| s.len()).sum()
+    }
+
+    /// The engine's logical clock.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Advances the logical clock (drives `snapshot T` expiry).
+    pub fn tick(&mut self, n: u64) {
+        self.clock += n;
+    }
+
+    /// Estimated resident memory: store data plus maintenance
+    /// bookkeeping (updaters and join status ranges).
+    pub fn memory_bytes(&self) -> usize {
+        self.store.memory_bytes()
+            + self.updaters.approx_bytes()
+            + self.materialized_ranges() * 96
+    }
+
+    // ------------------------------------------------------------------
+    // Join installation
+    // ------------------------------------------------------------------
+
+    /// Installs a validated join (the "addjoin" RPC). Rejects joins that
+    /// would form a cycle with already-installed joins. Under
+    /// [`MaterializationMode::Full`] the join's entire output range is
+    /// materialized immediately.
+    pub fn add_join(&mut self, spec: JoinSpec) -> Result<JoinId, EngineError> {
+        self.check_acyclic(&spec)?;
+        let id = JoinId(self.joins.len() as u32);
+        self.joins.push(Arc::new(spec));
+        self.status.push(StatusMap::new());
+        if self.config.materialization == MaterializationMode::Full {
+            let out_range = self.joins[id.0 as usize].output_range();
+            let mut missing = Vec::new();
+            self.validate_join(id.0 as usize, &out_range, &mut missing);
+        }
+        Ok(id)
+    }
+
+    /// Parses and installs one join from text.
+    pub fn add_join_text(&mut self, text: &str) -> Result<JoinId, EngineError> {
+        self.add_join(JoinSpec::parse(text)?)
+    }
+
+    /// Parses and installs several `;`-separated joins.
+    pub fn add_joins_text(&mut self, text: &str) -> Result<Vec<JoinId>, EngineError> {
+        let specs = pequod_join::parse_joins(text)?;
+        specs.into_iter().map(|s| self.add_join(s)).collect()
+    }
+
+    fn check_acyclic(&self, new: &JoinSpec) -> Result<(), EngineError> {
+        // Dependency edge a -> b: a reads b's outputs.
+        let n = self.joins.len() + 1;
+        let spec_of = |i: usize| -> &JoinSpec {
+            if i < self.joins.len() {
+                &self.joins[i]
+            } else {
+                new
+            }
+        };
+        let depends = |a: usize, b: usize| -> bool {
+            let outr = spec_of(b).output_range();
+            spec_of(a)
+                .sources
+                .iter()
+                .any(|s| s.pattern.key_space().overlaps(&outr))
+        };
+        // DFS cycle detection over the small join graph.
+        fn dfs(
+            i: usize,
+            n: usize,
+            depends: &dyn Fn(usize, usize) -> bool,
+            state: &mut [u8],
+        ) -> bool {
+            state[i] = 1;
+            for j in 0..n {
+                if j != i && depends(i, j) {
+                    if state[j] == 1 {
+                        return true;
+                    }
+                    if state[j] == 0 && dfs(j, n, depends, state) {
+                        return true;
+                    }
+                }
+            }
+            state[i] = 2;
+            false
+        }
+        let mut state = vec![0u8; n];
+        for i in 0..n {
+            if state[i] == 0 && dfs(i, n, &depends, &mut state) {
+                return Err(EngineError::CircularJoin(new.output.text().to_string()));
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Remote / database-backed tables (§3.3)
+    // ------------------------------------------------------------------
+
+    /// Declares the table owning `prefix` as remote or database-backed:
+    /// reads against it report missing ranges until data is installed.
+    pub fn mark_remote_table(&mut self, prefix: impl Into<Key>) {
+        self.remote.entry(prefix.into()).or_default();
+    }
+
+    /// True if the table owning `prefix` is marked remote.
+    pub fn is_remote_table(&self, prefix: &Key) -> bool {
+        self.remote.contains_key(prefix)
+    }
+
+    /// Marks a range of a remote table as resident without writing data
+    /// (used when a fetch returned an empty range: absence is knowledge).
+    pub fn mark_resident(&mut self, range: &KeyRange) {
+        let table = range.first.table_prefix();
+        if let Some(rs) = self.remote.get_mut(&table) {
+            rs.add(range);
+            self.lru.touch(EvictUnit::Base(table));
+        }
+    }
+
+    /// Installs fetched base data: writes the pairs (running normal
+    /// incremental maintenance) and marks the whole fetched range
+    /// resident.
+    pub fn install_base(&mut self, range: &KeyRange, pairs: Vec<(Key, Value)>) {
+        for (k, v) in pairs {
+            self.put(k, v);
+        }
+        self.mark_resident(range);
+    }
+
+    /// The resident ranges of a remote table (diagnostics).
+    pub fn resident_ranges(&self, prefix: &Key) -> Vec<KeyRange> {
+        self.remote
+            .get(prefix)
+            .map(|rs| rs.iter().collect())
+            .unwrap_or_default()
+    }
+
+    pub(crate) fn check_residency(&mut self, range: &KeyRange, missing: &mut Vec<KeyRange>) {
+        let mut touched = Vec::new();
+        for (prefix, resident) in &self.remote {
+            let table_range = KeyRange::prefix(prefix.clone());
+            let clip = table_range.intersect(range);
+            if clip.is_empty() {
+                continue;
+            }
+            touched.push(prefix.clone());
+            for gap in resident.uncovered(&clip) {
+                if !missing.iter().any(|m| m.contains_range(&gap)) {
+                    missing.push(gap);
+                }
+            }
+        }
+        for prefix in touched {
+            self.lru.touch(EvictUnit::Base(prefix));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Writes (§3.2 incremental maintenance)
+    // ------------------------------------------------------------------
+
+    /// Inserts or replaces a key, running incremental maintenance.
+    pub fn put(&mut self, key: impl Into<Key>, value: impl Into<Value>) {
+        self.write(key.into(), Some(value.into()), false);
+    }
+
+    /// Removes a key, running incremental maintenance.
+    pub fn remove(&mut self, key: &Key) {
+        self.write(key.clone(), None, false);
+    }
+
+    /// Applies a store modification and dispatches updaters.
+    pub(crate) fn write(&mut self, key: Key, value: Option<Value>, shared: bool) {
+        let old = match &value {
+            Some(v) => self.store.put(key.clone(), v.clone(), shared),
+            None => self.store.remove(&key),
+        };
+        let kind = match (&old, &value) {
+            (None, Some(_)) => WriteKind::Insert,
+            (Some(_), Some(_)) => WriteKind::Update,
+            (Some(_), None) => WriteKind::Remove,
+            (None, None) => return, // removing an absent key: no-op
+        };
+        self.stats.writes += 1;
+        // Fast exit: no join watches this table (true for output tables,
+        // which receive the bulk of writes).
+        if self.updaters.table_is_quiet(&key) {
+            return;
+        }
+        // Snapshot the applicable updaters: dispatch may mutate the index.
+        let node_ids = self.updaters.stab(&key);
+        if node_ids.is_empty() {
+            return;
+        }
+        let mut work: Vec<(IntervalId, UpdaterEntry)> = Vec::new();
+        for id in node_ids {
+            if let Some(entries) = self.updaters.entries(id) {
+                for e in entries {
+                    work.push((id, e.clone()));
+                }
+            }
+        }
+        for (node, entry) in work {
+            self.dispatch(node, entry, &key, old.as_ref(), value.as_ref(), kind);
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        node: IntervalId,
+        entry: UpdaterEntry,
+        key: &Key,
+        old: Option<&Value>,
+        new: Option<&Value>,
+        kind: WriteKind,
+    ) {
+        let jidx = entry.join.0 as usize;
+        let spec = self.joins[jidx].clone();
+        let Some(js) = self.status[jidx].get(entry.js) else {
+            // Stale updater for a torn-down range: drop it.
+            self.updaters
+                .remove_entries(node, |e| e.join == entry.join && e.js == entry.js);
+            return;
+        };
+        if js.state == JsState::Invalid {
+            return; // will be recomputed wholesale at next read
+        }
+        self.stats.updater_fires += 1;
+        let op = spec.sources[entry.source_idx].op;
+        match op {
+            Operator::Check => {
+                let m = LoggedMod {
+                    source_idx: entry.source_idx,
+                    key: key.clone(),
+                    kind,
+                };
+                let lazy = self.config.lazy_checks
+                    && self.config.materialization != MaterializationMode::Full;
+                if lazy {
+                    let limit = self.config.pending_log_limit;
+                    let js = self.status[jidx].get_mut(entry.js).unwrap();
+                    js.pending.push(m);
+                    self.stats.mods_logged += 1;
+                    if js.pending.len() > limit {
+                        self.complete_invalidate(jidx, entry.js);
+                    }
+                } else {
+                    self.apply_logged_mod(jidx, entry.js, &m);
+                }
+            }
+            Operator::Copy => {
+                let mut slots = entry.slots.clone();
+                if !spec.sources[entry.source_idx].pattern.match_key(key, &mut slots) {
+                    return;
+                }
+                match spec.output.expand(&slots) {
+                    Some(out_key) => {
+                        let range = self.status[jidx].get(entry.js).unwrap().range();
+                        if !range.contains(&out_key) {
+                            return;
+                        }
+                        self.stats.eager_updates += 1;
+                        match kind {
+                            WriteKind::Insert | WriteKind::Update => {
+                                let v = new.unwrap().clone();
+                                let (v, shared) = if self.config.value_sharing {
+                                    (v, true)
+                                } else {
+                                    (Bytes::copy_from_slice(&v), false)
+                                };
+                                self.write(out_key, Some(v), shared);
+                            }
+                            WriteKind::Remove => self.write(out_key, None, false),
+                        }
+                    }
+                    None => {
+                        // The copy source alone does not determine the
+                        // output key (copy listed before a check, as in the
+                        // celebrity join): fall back to the general
+                        // re-derivation path.
+                        let m = LoggedMod {
+                            source_idx: entry.source_idx,
+                            key: key.clone(),
+                            kind,
+                        };
+                        self.apply_logged_mod(jidx, entry.js, &m);
+                    }
+                }
+            }
+            Operator::Count | Operator::Sum => {
+                self.dispatch_numeric_agg(node, entry, &spec, op, key, old, new, kind)
+            }
+            Operator::Min | Operator::Max => {
+                self.dispatch_extremum(entry, &spec, op, key, old, new, kind)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_numeric_agg(
+        &mut self,
+        node: IntervalId,
+        entry: UpdaterEntry,
+        spec: &JoinSpec,
+        op: Operator,
+        key: &Key,
+        old: Option<&Value>,
+        new: Option<&Value>,
+        kind: WriteKind,
+    ) {
+        let jidx = entry.join.0 as usize;
+        let mut slots = entry.slots.clone();
+        if !spec.sources[entry.source_idx].pattern.match_key(key, &mut slots) {
+            return;
+        }
+        let Some(out_key) = spec.output.expand(&slots) else {
+            // Aggregate group key underdetermined: recompute lazily.
+            self.complete_invalidate(jidx, entry.js);
+            return;
+        };
+        let range = self.status[jidx].get(entry.js).unwrap().range();
+        if !range.contains(&out_key) {
+            return;
+        }
+        let delta = match (op, kind) {
+            (Operator::Count, WriteKind::Insert) => 1,
+            (Operator::Count, WriteKind::Remove) => -1,
+            (Operator::Count, WriteKind::Update) => 0,
+            (Operator::Sum, WriteKind::Insert) => parse_num(new.unwrap()),
+            (Operator::Sum, WriteKind::Remove) => -parse_num(old.unwrap()),
+            (Operator::Sum, WriteKind::Update) => {
+                parse_num(new.unwrap()) - parse_num(old.unwrap())
+            }
+            _ => unreachable!(),
+        };
+        if delta == 0 {
+            return;
+        }
+        self.stats.eager_updates += 1;
+        // Output hint (§4.2): skip the store lookup when this updater
+        // wrote the same output key last time.
+        let hinted = if self.config.output_hints {
+            entry
+                .hint
+                .as_ref()
+                .filter(|h| h.out_key == out_key)
+                .map(|h| h.num)
+        } else {
+            None
+        };
+        let cur = match hinted {
+            Some(n) => {
+                self.stats.hint_hits += 1;
+                Some(n)
+            }
+            None => self.store.peek(&out_key).map(|v| parse_num(v)),
+        };
+        let newv = cur.unwrap_or(0) + delta;
+        let remove_group = op == Operator::Count && newv <= 0;
+        if remove_group {
+            self.write(out_key.clone(), None, false);
+        } else {
+            self.write(out_key.clone(), Some(fmt_num(newv)), false);
+        }
+        if self.config.output_hints {
+            if let Some(e) = self.updaters.find_entry_mut(node, &entry) {
+                e.hint = if remove_group {
+                    None
+                } else {
+                    Some(OutputHint {
+                        out_key,
+                        num: newv,
+                    })
+                };
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_extremum(
+        &mut self,
+        entry: UpdaterEntry,
+        spec: &JoinSpec,
+        op: Operator,
+        key: &Key,
+        old: Option<&Value>,
+        new: Option<&Value>,
+        kind: WriteKind,
+    ) {
+        let jidx = entry.join.0 as usize;
+        let mut slots = entry.slots.clone();
+        if !spec.sources[entry.source_idx].pattern.match_key(key, &mut slots) {
+            return;
+        }
+        let Some(out_key) = spec.output.expand(&slots) else {
+            self.complete_invalidate(jidx, entry.js);
+            return;
+        };
+        let range = self.status[jidx].get(entry.js).unwrap().range();
+        if !range.contains(&out_key) {
+            return;
+        }
+        let better = |candidate: &Value, cur: &Value| -> bool {
+            match op {
+                Operator::Min => candidate < cur,
+                Operator::Max => candidate > cur,
+                _ => unreachable!(),
+            }
+        };
+        let cur = self.store.peek(&out_key).cloned();
+        self.stats.eager_updates += 1;
+        match kind {
+            WriteKind::Insert => match &cur {
+                None => self.write(out_key, Some(new.unwrap().clone()), false),
+                Some(c) => {
+                    if better(new.unwrap(), c) {
+                        self.write(out_key, Some(new.unwrap().clone()), false);
+                    }
+                }
+            },
+            WriteKind::Update => {
+                let o = old.unwrap();
+                let n = new.unwrap();
+                match &cur {
+                    None => self.write(out_key, Some(n.clone()), false),
+                    Some(c) => {
+                        if better(n, c) {
+                            self.write(out_key, Some(n.clone()), false);
+                        } else if o == c {
+                            // The extremum may have been retracted.
+                            self.complete_invalidate(jidx, entry.js);
+                        }
+                    }
+                }
+            }
+            WriteKind::Remove => {
+                if cur.as_ref() == old {
+                    self.complete_invalidate(jidx, entry.js);
+                }
+            }
+        }
+    }
+
+    /// Complete invalidation (§3.2): removes the range's updaters and
+    /// marks it for wholesale recomputation at the next read. Outputs
+    /// stay in the store until then (reads always validate first).
+    pub(crate) fn complete_invalidate(&mut self, jidx: usize, jsid: JsId) {
+        let Some(js) = self.status[jidx].get_mut(jsid) else {
+            return;
+        };
+        if js.state == JsState::Invalid {
+            return;
+        }
+        js.state = JsState::Invalid;
+        js.pending.clear();
+        let nodes = std::mem::take(&mut js.updaters);
+        self.updaters.remove_for_js(&nodes, JoinId(jidx as u32), jsid);
+        self.stats.complete_invalidations += 1;
+    }
+}

@@ -1,0 +1,630 @@
+//! The read path: scans, join status validation, forward query
+//! execution (Figures 3 and 5), and lazy application of logged
+//! modifications.
+
+use crate::aggregate::Accumulator;
+use crate::config::MaterializationMode;
+use crate::engine::{Engine, EvictUnit};
+use crate::status::{JsState, LoggedMod, Segment};
+use crate::types::{JoinId, JsId, ScanResult, WriteKind};
+use crate::updater::UpdaterEntry;
+use bytes::Bytes;
+use pequod_join::{containing_range, JoinSpec, Maintenance, Operator, SlotSet};
+use pequod_store::{Key, KeyRange, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A planned updater installation recorded during forward execution
+/// (Figure 5: "add updater from [ks−, ks+) to js").
+pub(crate) struct PlanEntry {
+    source_idx: usize,
+    range: KeyRange,
+    slots: SlotSet,
+}
+
+/// Pre-bound context for targeted re-execution: skip the given source
+/// (its key already matched into `slots`), optionally carrying the
+/// value-source's value.
+pub(crate) struct PreBound {
+    pub skip: usize,
+    pub slots: SlotSet,
+    pub value: Option<Value>,
+}
+
+impl Engine {
+    // ------------------------------------------------------------------
+    // Public reads
+    // ------------------------------------------------------------------
+
+    /// Scans `[range.first, range.end)`, executing and validating any
+    /// overlapping cache joins first. Returns the pairs plus any base
+    /// ranges that must be fetched for a complete answer (§3.3).
+    pub fn scan(&mut self, range: &KeyRange) -> ScanResult {
+        self.stats.scans += 1;
+        let mut missing = Vec::new();
+        if range.is_empty() {
+            return ScanResult::default();
+        }
+        // Base data requested directly from a remote table?
+        if !self.remote.is_empty() {
+            self.check_residency(range, &mut missing);
+        }
+        // Joins overlapping the scan.
+        let mut overlay: Option<BTreeMap<Key, Value>> = None;
+        for jidx in 0..self.joins.len() {
+            let spec = self.joins[jidx].clone();
+            let clip = spec.output_range().intersect(range);
+            if clip.is_empty() {
+                continue;
+            }
+            if self.is_pull(jidx) {
+                let map = overlay.get_or_insert_with(BTreeMap::new);
+                for (k, v) in self.exec_join(jidx, &clip, None, None, &mut missing) {
+                    map.insert(k, v);
+                }
+            } else {
+                self.validate_join(jidx, &clip, &mut missing);
+            }
+        }
+        let pairs = match overlay {
+            // Fast path: everything is materialized in the store; collect
+            // in order without a merge map.
+            None => {
+                let mut pairs = Vec::new();
+                self.store.scan(range, |k, v| {
+                    pairs.push((k.clone(), v.clone()));
+                    true
+                });
+                pairs
+            }
+            Some(mut map) => {
+                self.store.scan(range, |k, v| {
+                    map.entry(k.clone()).or_insert_with(|| v.clone());
+                    true
+                });
+                map.into_iter().collect()
+            }
+        };
+        ScanResult { pairs, missing }
+    }
+
+    /// Point lookup through the same machinery as [`Engine::scan`]: the
+    /// key may be computed by a join on demand.
+    pub fn get(&mut self, key: &Key) -> ScanResult {
+        self.scan(&KeyRange::single(key.clone()))
+    }
+
+    /// Convenience point lookup returning just the value (ignores
+    /// missing-data reports; use [`Engine::get`] when the engine serves
+    /// remote or database-backed tables).
+    pub fn get_value(&mut self, key: &Key) -> Option<Value> {
+        self.get(key).pairs.pop().map(|(_, v)| v)
+    }
+
+    /// Counts pairs in `range` after validating overlapping joins.
+    pub fn count(&mut self, range: &KeyRange) -> usize {
+        self.scan(range).pairs.len()
+    }
+
+    /// Validates (materializes) joins overlapping `range` without
+    /// returning data; used to warm caches.
+    pub fn validate_range(&mut self, range: &KeyRange) -> Vec<KeyRange> {
+        self.scan(range).missing
+    }
+
+    pub(crate) fn is_pull(&self, jidx: usize) -> bool {
+        self.config.materialization == MaterializationMode::None
+            || matches!(self.joins[jidx].maintenance, Maintenance::Pull)
+    }
+
+    // ------------------------------------------------------------------
+    // Validation (Figure 5)
+    // ------------------------------------------------------------------
+
+    /// Ensures the join's output is materialized and valid over `clip`.
+    pub(crate) fn validate_join(&mut self, jidx: usize, clip: &KeyRange, missing: &mut Vec<KeyRange>) {
+        if self.config.materialization == MaterializationMode::None {
+            return;
+        }
+        let spec = self.joins[jidx].clone();
+        if matches!(spec.maintenance, Maintenance::Pull) {
+            return;
+        }
+        let clip = spec.output_range().intersect(clip);
+        if clip.is_empty() {
+            return;
+        }
+        for seg in self.status[jidx].segments(&clip) {
+            match seg {
+                Segment::Covered(jsid) => self.refresh_jsrange(jidx, jsid, &spec, missing),
+                Segment::Gap(gap) => self.materialize_gap(jidx, &gap, missing),
+            }
+        }
+    }
+
+    fn refresh_jsrange(
+        &mut self,
+        jidx: usize,
+        jsid: JsId,
+        spec: &Arc<JoinSpec>,
+        missing: &mut Vec<KeyRange>,
+    ) {
+        let Some(js) = self.status[jidx].get(jsid) else {
+            return;
+        };
+        let extent = js.range();
+        // Snapshot expiry: recompute from scratch (§3.4).
+        if let Maintenance::Snapshot(ttl) = spec.maintenance {
+            if js.snapshot_expired(ttl, self.clock) {
+                self.teardown_jsrange(jidx, jsid, true);
+                self.materialize_gap(jidx, &extent, missing);
+                return;
+            }
+        }
+        match js.state {
+            JsState::Invalid => {
+                self.teardown_jsrange(jidx, jsid, true);
+                self.materialize_gap(jidx, &extent, missing);
+            }
+            JsState::Valid => {
+                // Apply the pending log (lazy maintenance, §3.2).
+                let pending =
+                    std::mem::take(&mut self.status[jidx].get_mut(jsid).unwrap().pending);
+                for m in pending {
+                    self.stats.mods_applied += 1;
+                    self.apply_logged_mod(jidx, jsid, &m);
+                    // Application may have completely invalidated the range.
+                    match self.status[jidx].get(jsid) {
+                        Some(js) if js.state == JsState::Valid => {}
+                        _ => break,
+                    }
+                }
+                match self.status[jidx].get(jsid) {
+                    Some(js) if js.state == JsState::Invalid => {
+                        self.teardown_jsrange(jidx, jsid, true);
+                        self.materialize_gap(jidx, &extent, missing);
+                    }
+                    Some(_) => self.lru.touch(EvictUnit::Js(jidx as u32, jsid)),
+                    None => {}
+                }
+            }
+        }
+    }
+
+    /// Computes a fresh output range and installs its status range and
+    /// updaters (Figure 5). If base data was missing, nothing is
+    /// installed: the restarted query recomputes after the fetch.
+    pub(crate) fn materialize_gap(&mut self, jidx: usize, gap: &KeyRange, missing: &mut Vec<KeyRange>) {
+        if gap.is_empty() {
+            return;
+        }
+        let spec = self.joins[jidx].clone();
+        let want_updaters = matches!(spec.maintenance, Maintenance::Push);
+        let mut plan: Vec<PlanEntry> = Vec::new();
+        let mut local_missing = Vec::new();
+        let outs = self.exec_join(
+            jidx,
+            gap,
+            None,
+            want_updaters.then_some(&mut plan),
+            &mut local_missing,
+        );
+        if !local_missing.is_empty() {
+            missing.extend(local_missing);
+            return;
+        }
+        let is_copy = spec.value_op() == Operator::Copy;
+        for (k, v) in outs {
+            let (v, shared) = if is_copy && self.config.value_sharing {
+                (v, true)
+            } else if is_copy {
+                (Bytes::copy_from_slice(&v), false)
+            } else {
+                (v, false)
+            };
+            self.write(k, Some(v), shared);
+        }
+        let jsid = self.status[jidx].insert(gap.clone(), self.clock);
+        for pe in plan {
+            let node = self.updaters.install(
+                pe.range,
+                UpdaterEntry {
+                    join: JoinId(jidx as u32),
+                    source_idx: pe.source_idx,
+                    slots: pe.slots,
+                    js: jsid,
+                    hint: None,
+                },
+            );
+            let js = self.status[jidx].get_mut(jsid).unwrap();
+            if !js.updaters.contains(&node) {
+                js.updaters.push(node);
+            }
+        }
+        self.stats.ranges_materialized += 1;
+        self.lru.touch(EvictUnit::Js(jidx as u32, jsid));
+    }
+
+    /// Removes a status range, its updaters, and (optionally) its
+    /// outputs from the store. Output removal goes through the normal
+    /// write path so downstream joins observe it.
+    pub(crate) fn teardown_jsrange(&mut self, jidx: usize, jsid: JsId, remove_outputs: bool) {
+        let Some(js) = self.status[jidx].remove(jsid) else {
+            return;
+        };
+        self.updaters
+            .remove_for_js(&js.updaters, JoinId(jidx as u32), jsid);
+        self.lru.remove(&EvictUnit::Js(jidx as u32, jsid));
+        if remove_outputs {
+            let spec = self.joins[jidx].clone();
+            let mut doomed = Vec::new();
+            self.store.scan(&js.range(), |k, _| {
+                let mut s = spec.slots.empty_set();
+                if spec.output.match_key(k, &mut s) {
+                    doomed.push(k.clone());
+                }
+                true
+            });
+            for k in doomed {
+                self.write(k, None, false);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Forward query execution (Figure 3)
+    // ------------------------------------------------------------------
+
+    /// Executes a join over `clip`, returning its output pairs. The
+    /// nested-loop enumeration follows Figure 3: derive slots from the
+    /// requested range, then for each source compute a containing range,
+    /// scan it, and match keys, recursing per source.
+    pub(crate) fn exec_join(
+        &mut self,
+        jidx: usize,
+        clip: &KeyRange,
+        pre: Option<PreBound>,
+        plan: Option<&mut Vec<PlanEntry>>,
+        missing: &mut Vec<KeyRange>,
+    ) -> Vec<(Key, Value)> {
+        let spec = self.joins[jidx].clone();
+        self.stats.join_execs += 1;
+        let mut slots = spec.slots.empty_set();
+        spec.output.derive_slots(clip, &mut slots);
+        let (skip, value0) = match pre {
+            Some(p) => {
+                if !slots.merge(&p.slots) {
+                    return Vec::new();
+                }
+                (Some(p.skip), p.value)
+            }
+            None => (None, None),
+        };
+        let mut ctx = ExecCtx {
+            spec: &spec,
+            jidx,
+            clip,
+            skip,
+            out: Vec::new(),
+            aggs: BTreeMap::new(),
+            plan: Vec::new(),
+            want_plan: plan.is_some(),
+        };
+        self.exec_level(&mut ctx, 0, &mut slots, value0, missing);
+        let ExecCtx {
+            out, aggs, plan: produced_plan, ..
+        } = ctx;
+        if let Some(p) = plan {
+            *p = produced_plan;
+        }
+        let result = if spec.is_aggregate() {
+            aggs.into_iter().map(|(k, a)| (k, a.finish())).collect()
+        } else {
+            out
+        };
+        self.stats.exec_outputs += result.len() as u64;
+        result
+    }
+
+    fn exec_level(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        level: usize,
+        slots: &mut SlotSet,
+        captured: Option<Value>,
+        missing: &mut Vec<KeyRange>,
+    ) {
+        if level == ctx.spec.sources.len() {
+            let Some(out_key) = ctx.spec.output.expand(slots) else {
+                return;
+            };
+            if !ctx.clip.contains(&out_key) {
+                return;
+            }
+            let Some(v) = captured else { return };
+            if ctx.spec.is_aggregate() {
+                let op = ctx.spec.value_op();
+                ctx.aggs
+                    .entry(out_key)
+                    .and_modify(|a| a.fold(&v))
+                    .or_insert_with(|| Accumulator::start(op, &v));
+            } else {
+                ctx.out.push((out_key, v));
+            }
+            return;
+        }
+        if Some(level) == ctx.skip {
+            self.exec_level(ctx, level + 1, slots, captured, missing);
+            return;
+        }
+        let src = &ctx.spec.sources[level];
+        let crange = containing_range(&src.pattern, &ctx.spec.output, slots, ctx.clip);
+        if crange.is_empty() {
+            return;
+        }
+        if ctx.want_plan {
+            ctx.plan.push(PlanEntry {
+                source_idx: level,
+                range: crange.clone(),
+                slots: slots.clone(),
+            });
+        }
+        let found = self.collect_source(ctx.jidx, &crange, missing);
+        let value_source = ctx.spec.value_source();
+        // Reuse one slot set across candidates via an undo trail instead
+        // of cloning per key (the nested-loop hot path).
+        let mut undo = Vec::with_capacity(4);
+        for (k, v) in found {
+            undo.clear();
+            if ctx.spec.sources[level]
+                .pattern
+                .match_key_undo(&k, slots, &mut undo)
+            {
+                let cap = if level == value_source {
+                    Some(v)
+                } else {
+                    captured.clone()
+                };
+                self.exec_level(ctx, level + 1, slots, cap, missing);
+                for id in undo.drain(..) {
+                    slots.unbind(id);
+                }
+            }
+        }
+    }
+
+    /// Gathers the contents of a source range: resident store data plus
+    /// the outputs of any other joins that feed this range (recursive
+    /// query execution, §3.3), reporting missing base data.
+    fn collect_source(
+        &mut self,
+        cur_jidx: usize,
+        crange: &KeyRange,
+        missing: &mut Vec<KeyRange>,
+    ) -> Vec<(Key, Value)> {
+        if !self.remote.is_empty() {
+            self.check_residency(crange, missing);
+        }
+        let mut overlay: Option<BTreeMap<Key, Value>> = None;
+        for j2 in 0..self.joins.len() {
+            if j2 == cur_jidx {
+                continue;
+            }
+            let spec2 = self.joins[j2].clone();
+            let clip2 = spec2.output_range().intersect(crange);
+            if clip2.is_empty() {
+                continue;
+            }
+            if self.is_pull(j2) {
+                let map = overlay.get_or_insert_with(BTreeMap::new);
+                for (k, v) in self.exec_join(j2, &clip2, None, None, missing) {
+                    map.insert(k, v);
+                }
+            } else {
+                self.validate_join(j2, &clip2, missing);
+            }
+        }
+        match overlay {
+            None => {
+                let mut pairs = Vec::new();
+                self.store.scan(crange, |k, v| {
+                    pairs.push((k.clone(), v.clone()));
+                    true
+                });
+                pairs
+            }
+            Some(mut map) => {
+                self.store.scan(crange, |k, v| {
+                    map.entry(k.clone()).or_insert_with(|| v.clone());
+                    true
+                });
+                map.into_iter().collect()
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lazy maintenance: applying logged modifications (§3.2)
+    // ------------------------------------------------------------------
+
+    /// Applies one source modification to a materialized range: a
+    /// targeted re-execution with the modified key's slots pre-bound
+    /// (insert) or a targeted removal of the outputs it supported
+    /// (remove). Falls back to complete invalidation for aggregate
+    /// groups disturbed by check-source changes and on missing data.
+    pub(crate) fn apply_logged_mod(&mut self, jidx: usize, jsid: JsId, m: &LoggedMod) {
+        let spec = self.joins[jidx].clone();
+        let Some(js) = self.status[jidx].get(jsid) else {
+            return;
+        };
+        let extent = js.range();
+        let vsrc = spec.value_source();
+        if spec.is_aggregate() && m.source_idx != vsrc {
+            // A check change shifts whole groups in or out of the
+            // aggregate; recompute the range.
+            self.complete_invalidate(jidx, jsid);
+            return;
+        }
+        if m.kind == WriteKind::Update && m.source_idx != vsrc {
+            return; // check values are never read
+        }
+        let mut slots = spec.slots.empty_set();
+        spec.output.derive_slots(&extent, &mut slots);
+        if !spec.sources[m.source_idx].pattern.match_key(&m.key, &mut slots) {
+            return; // inconsistent with this range: not relevant
+        }
+        match m.kind {
+            WriteKind::Insert | WriteKind::Update => {
+                let value = if m.source_idx == vsrc {
+                    match self.store.peek(&m.key).cloned() {
+                        Some(v) => Some(v),
+                        None => return, // key vanished since logging
+                    }
+                } else {
+                    None
+                };
+                let want_updaters = matches!(spec.maintenance, Maintenance::Push);
+                let mut plan: Vec<PlanEntry> = Vec::new();
+                let mut local_missing = Vec::new();
+                let outs = self.exec_join(
+                    jidx,
+                    &extent,
+                    Some(PreBound {
+                        skip: m.source_idx,
+                        slots,
+                        value,
+                    }),
+                    want_updaters.then_some(&mut plan),
+                    &mut local_missing,
+                );
+                if !local_missing.is_empty() {
+                    self.complete_invalidate(jidx, jsid);
+                    return;
+                }
+                let is_copy = spec.value_op() == Operator::Copy;
+                for (k, v) in outs {
+                    let (v, shared) = if is_copy && self.config.value_sharing {
+                        (v, true)
+                    } else {
+                        (Bytes::copy_from_slice(&v), false)
+                    };
+                    self.write(k, Some(v), shared);
+                }
+                for pe in plan {
+                    let node = self.updaters.install(
+                        pe.range,
+                        UpdaterEntry {
+                            join: JoinId(jidx as u32),
+                            source_idx: pe.source_idx,
+                            slots: pe.slots,
+                            js: jsid,
+                            hint: None,
+                        },
+                    );
+                    if let Some(js) = self.status[jidx].get_mut(jsid) {
+                        if !js.updaters.contains(&node) {
+                            js.updaters.push(node);
+                        }
+                    }
+                }
+            }
+            WriteKind::Remove => {
+                // Remove the outputs this tuple supported: output keys in
+                // the range consistent with the tuple's slot bindings.
+                let target = containing_range(&spec.output, &spec.output, &slots, &extent)
+                    .intersect(&extent);
+                let mut doomed = Vec::new();
+                self.store.scan(&target, |k, _| {
+                    let mut s = slots.clone();
+                    if spec.output.match_key(k, &mut s) {
+                        doomed.push(k.clone());
+                    }
+                    true
+                });
+                for k in doomed {
+                    self.write(k, None, false);
+                }
+                // Drop updaters installed beneath the removed tuple so
+                // future source writes stop resurrecting these outputs.
+                if let Some(js) = self.status[jidx].get(jsid) {
+                    let nodes = js.updaters.clone();
+                    let join = JoinId(jidx as u32);
+                    for node in nodes {
+                        self.updaters.remove_entries(node, |e| {
+                            e.join == join && e.js == jsid && e.source_idx > m.source_idx && {
+                                let mut merged = e.slots.clone();
+                                merged.merge(&slots)
+                            }
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Eviction (§2.5)
+    // ------------------------------------------------------------------
+
+    /// Evicts least-recently-used units until estimated memory is at or
+    /// below `target_bytes` (or nothing evictable remains). Returns the
+    /// number of units evicted.
+    ///
+    /// Evicting computed data tears down the join status range; evicting
+    /// cached base data removes the rows *without* treating them as
+    /// deletions, and instead invalidates dependent computed ranges,
+    /// which recompute (and refetch) on their next read.
+    pub fn evict_to(&mut self, target_bytes: usize) -> usize {
+        let mut evicted = 0;
+        while self.memory_bytes() > target_bytes {
+            let Some(unit) = self.lru.pop_lru() else { break };
+            match unit {
+                EvictUnit::Js(jidx, jsid) => {
+                    self.teardown_jsrange(jidx as usize, jsid, true);
+                    self.stats.js_evictions += 1;
+                }
+                EvictUnit::Base(prefix) => {
+                    let range = KeyRange::prefix(prefix.clone());
+                    // Invalidate dependents before dropping the data.
+                    let mut dependents: Vec<(usize, JsId)> = Vec::new();
+                    for node in self.updaters.overlapping(&range) {
+                        if let Some(entries) = self.updaters.entries(node) {
+                            for e in entries {
+                                dependents.push((e.join.0 as usize, e.js));
+                            }
+                        }
+                    }
+                    for (jidx, jsid) in dependents {
+                        self.complete_invalidate(jidx, jsid);
+                    }
+                    // Drop the rows silently (eviction, not deletion).
+                    let mut doomed = Vec::new();
+                    self.store.scan(&range, |k, _| {
+                        doomed.push(k.clone());
+                        true
+                    });
+                    for k in &doomed {
+                        self.store.remove(k);
+                    }
+                    if let Some(rs) = self.remote.get_mut(&prefix) {
+                        rs.clear();
+                    }
+                    self.stats.base_evictions += 1;
+                }
+            }
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+struct ExecCtx<'a> {
+    spec: &'a Arc<JoinSpec>,
+    jidx: usize,
+    clip: &'a KeyRange,
+    skip: Option<usize>,
+    out: Vec<(Key, Value)>,
+    aggs: BTreeMap<Key, Accumulator>,
+    plan: Vec<PlanEntry>,
+    want_plan: bool,
+}

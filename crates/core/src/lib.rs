@@ -1,0 +1,57 @@
+//! `pequod-core` — the Pequod cache engine.
+//!
+//! This crate implements the heart of Pequod (NSDI '14): a single-server
+//! ordered key-value cache that executes and incrementally maintains
+//! *cache joins*.
+//!
+//! # Quick start
+//!
+//! ```
+//! use pequod_core::Engine;
+//! use pequod_store::KeyRange;
+//!
+//! let mut engine = Engine::new_default();
+//! // The Twip timeline join: timelines are copies of posts by followed
+//! // users (fixed-width 10-digit timestamps).
+//! engine
+//!     .add_join_text(
+//!         "t|<user>|<time:10>|<poster> = check s|<user>|<poster> copy p|<poster>|<time:10>",
+//!     )
+//!     .unwrap();
+//! // Base data: ann follows bob; bob tweets.
+//! engine.put("s|ann|bob", "1");
+//! engine.put("p|bob|0000000100", "Hi");
+//! // Reading ann's timeline materializes it...
+//! let tl = engine.scan(&KeyRange::prefix("t|ann|"));
+//! assert_eq!(tl.pairs.len(), 1);
+//! // ...and later posts are pushed into it incrementally.
+//! engine.put("p|bob|0000000120", "again");
+//! let tl = engine.scan(&KeyRange::prefix("t|ann|"));
+//! assert_eq!(tl.pairs.len(), 2);
+//! ```
+//!
+//! # Structure
+//!
+//! * [`Engine`] — the public API: `get`/`put`/`remove`/`scan`/`add_join`,
+//!   plus remote-table residency ([`Engine::install_base`]) and eviction.
+//! * [`status`] — join status ranges: which output ranges are
+//!   materialized and whether they are valid (§3.2).
+//! * [`updater`] — the interval-tree index of incremental-maintenance
+//!   hooks, with updater coalescing and output hints (§3.2, §4.2).
+//! * [`aggregate`] — `count`/`sum`/`min`/`max` value handling.
+//! * [`config`] — materialization modes and the optimization toggles
+//!   measured in the paper's ablations.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod config;
+mod engine;
+mod exec;
+pub mod status;
+pub mod types;
+pub mod updater;
+
+pub use config::{EngineConfig, EngineStats, MaterializationMode};
+pub use engine::{Engine, EvictUnit};
+pub use types::{EngineError, JoinId, JsId, ScanResult, WriteKind};

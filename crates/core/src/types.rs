@@ -1,0 +1,84 @@
+//! Common identifier and result types for the engine.
+
+use pequod_join::JoinError;
+use pequod_store::{Key, KeyRange, Value};
+use std::fmt;
+
+/// Identifies an installed join within one engine.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct JoinId(pub u32);
+
+/// Identifies a join status range within one join's status map.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct JsId(pub u64);
+
+/// The kind of store modification delivered to an updater (§3.2: "the
+/// type of change (insert new key, update existing key, or remove
+/// existing key)").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WriteKind {
+    /// A key that did not exist was inserted.
+    Insert,
+    /// An existing key's value was replaced.
+    Update,
+    /// An existing key was removed.
+    Remove,
+}
+
+/// The result of a scan or get: the pairs found plus any base-data
+/// ranges that were needed but not resident (§3.3). A caller that sees
+/// `missing` ranges should fetch them (from the database or a home
+/// server), install them with [`crate::Engine::install_base`], and
+/// restart the query.
+#[derive(Clone, Debug, Default)]
+pub struct ScanResult {
+    /// Key-value pairs in the scanned range, in key order.
+    pub pairs: Vec<(Key, Value)>,
+    /// Base-data ranges that must be fetched before the result is
+    /// complete.
+    pub missing: Vec<KeyRange>,
+}
+
+impl ScanResult {
+    /// True if no base data was missing: the pairs are the full answer.
+    pub fn is_complete(&self) -> bool {
+        self.missing.is_empty()
+    }
+
+    /// The number of pairs returned.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if no pairs were returned.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Errors surfaced by the engine API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The join failed to parse or validate.
+    Join(JoinError),
+    /// Installing the join would create a cycle with existing joins
+    /// ("users should not install circular cache joins", §3).
+    CircularJoin(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Join(e) => write!(f, "{e}"),
+            EngineError::CircularJoin(s) => write!(f, "circular cache joins: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<JoinError> for EngineError {
+    fn from(e: JoinError) -> Self {
+        EngineError::Join(e)
+    }
+}

@@ -1,0 +1,293 @@
+//! Updaters: the incremental-maintenance hooks attached to source ranges
+//! (§3.2).
+//!
+//! "An updater links a range of source keys with a context—a cache join,
+//! a slot set, and a join status range." Updaters live in an interval
+//! tree so a store write can find every applicable updater with one
+//! stabbing query. Overlapping updaters are coalesced: entries installed
+//! for exactly the same source range share one tree node ("if a new
+//! updater is installed for the same source range as an existing
+//! updater ... Pequod reduces memory usage and the size of the updater
+//! tree by appending information about the new updater to the existing
+//! one").
+
+use crate::types::{JoinId, JsId};
+use pequod_join::SlotSet;
+use pequod_store::{IntervalId, IntervalTree, Key, KeyRange, UpperBound};
+use std::collections::HashMap;
+
+/// An output hint (§4.2): the last aggregate output maintained through
+/// this updater, letting the next maintenance event skip the store
+/// lookup of the current aggregate value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutputHint {
+    /// The output key last written.
+    pub out_key: Key,
+    /// Its current numeric value (count/sum).
+    pub num: i64,
+}
+
+/// One maintenance registration: join + source + context slot set +
+/// target join status range.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UpdaterEntry {
+    /// The join being maintained.
+    pub join: JoinId,
+    /// Which source of that join this updater watches.
+    pub source_idx: usize,
+    /// Slot bindings captured when the updater was installed.
+    pub slots: SlotSet,
+    /// The join status range kept up to date.
+    pub js: JsId,
+    /// Cached aggregate output (None for copy/check sources or when
+    /// output hints are disabled).
+    pub hint: Option<OutputHint>,
+}
+
+/// The engine-wide updater index.
+#[derive(Default)]
+pub struct UpdaterIndex {
+    tree: IntervalTree<Vec<UpdaterEntry>>,
+    by_range: HashMap<(Key, Option<Key>), IntervalId>,
+    entries: usize,
+    /// Live node count per table prefix: lets the write path skip the
+    /// stabbing query entirely for tables that no join watches (output
+    /// tables see the most writes and almost never carry updaters).
+    per_table: HashMap<Key, usize>,
+}
+
+impl UpdaterIndex {
+    /// Creates an empty index.
+    pub fn new() -> UpdaterIndex {
+        UpdaterIndex::default()
+    }
+
+    /// Number of tree nodes (distinct source ranges).
+    pub fn node_count(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Number of updater entries across all nodes.
+    pub fn entry_count(&self) -> usize {
+        self.entries
+    }
+
+    fn range_key(range: &KeyRange) -> (Key, Option<Key>) {
+        (
+            range.first.clone(),
+            match &range.end {
+                UpperBound::Excluded(e) => Some(e.clone()),
+                UpperBound::Unbounded => None,
+            },
+        )
+    }
+
+    /// Installs an updater for `range`, coalescing with an existing node
+    /// covering exactly the same range. Identical duplicate entries are
+    /// dropped. Returns the tree node id.
+    pub fn install(&mut self, range: KeyRange, entry: UpdaterEntry) -> IntervalId {
+        let rk = Self::range_key(&range);
+        if let Some(&id) = self.by_range.get(&rk) {
+            let list = self
+                .tree
+                .get_mut(id)
+                .expect("coalescing map points at live node");
+            if !list.contains(&entry) {
+                list.push(entry);
+                self.entries += 1;
+            }
+            id
+        } else {
+            *self
+                .per_table
+                .entry(range.first.table_prefix())
+                .or_insert(0) += 1;
+            let id = self.tree.insert(range, vec![entry]);
+            self.by_range.insert(rk, id);
+            self.entries += 1;
+            id
+        }
+    }
+
+    /// True if no updater watches any range of `key`'s table. Ranges are
+    /// indexed by their start key's table; Pequod source ranges never
+    /// span tables (they come from single-table patterns).
+    pub fn table_is_quiet(&self, key: &Key) -> bool {
+        self.per_table
+            .get(&key.table_prefix())
+            .map_or(true, |&n| n == 0)
+    }
+
+    /// Node ids whose range contains `key`.
+    pub fn stab(&self, key: &Key) -> Vec<IntervalId> {
+        self.tree.stab_ids(key)
+    }
+
+    /// Node ids whose range overlaps `range`.
+    pub fn overlapping(&self, range: &KeyRange) -> Vec<IntervalId> {
+        self.tree.overlapping_ids(range)
+    }
+
+    /// The entries of a node.
+    pub fn entries(&mut self, id: IntervalId) -> Option<&Vec<UpdaterEntry>> {
+        self.tree.get_mut(id).map(|v| &*v)
+    }
+
+    /// Mutable access to one entry of a node.
+    pub fn entry_mut(&mut self, id: IntervalId, idx: usize) -> Option<&mut UpdaterEntry> {
+        self.tree.get_mut(id)?.get_mut(idx)
+    }
+
+    /// Finds the entry with the same identity (join, source, slots, js)
+    /// as `proto`, ignoring its hint. Used to write hints back after a
+    /// dispatch that worked on a snapshot of the entry.
+    pub fn find_entry_mut(
+        &mut self,
+        id: IntervalId,
+        proto: &UpdaterEntry,
+    ) -> Option<&mut UpdaterEntry> {
+        self.tree.get_mut(id)?.iter_mut().find(|e| {
+            e.join == proto.join
+                && e.source_idx == proto.source_idx
+                && e.js == proto.js
+                && e.slots == proto.slots
+        })
+    }
+
+    /// Removes entries matching `pred` from a node, dropping the node
+    /// when it empties. Returns the number removed.
+    pub fn remove_entries(
+        &mut self,
+        id: IntervalId,
+        mut pred: impl FnMut(&UpdaterEntry) -> bool,
+    ) -> usize {
+        let Some(list) = self.tree.get_mut(id) else {
+            return 0;
+        };
+        let before = list.len();
+        list.retain(|e| !pred(e));
+        let removed = before - list.len();
+        self.entries -= removed;
+        if list.is_empty() {
+            if let Some((range, _)) = self.tree.remove(id) {
+                self.by_range.remove(&Self::range_key(&range));
+                if let Some(n) = self.per_table.get_mut(&range.first.table_prefix()) {
+                    *n -= 1;
+                }
+            }
+        }
+        removed
+    }
+
+    /// Removes every entry belonging to the given join's status range
+    /// `js` from the given nodes (used when tearing down an invalidated
+    /// range). Status-range ids are scoped per join, so the join id must
+    /// participate in the match: coalesced nodes hold entries from many
+    /// joins whose `JsId`s can collide.
+    pub fn remove_for_js(&mut self, node_ids: &[IntervalId], join: JoinId, js: JsId) -> usize {
+        let mut removed = 0;
+        for &id in node_ids {
+            removed += self.remove_entries(id, |e| e.join == join && e.js == js);
+        }
+        removed
+    }
+
+    /// Visits every `(node, entry)` pair for bookkeeping or debugging.
+    pub fn for_each(&self, mut f: impl FnMut(IntervalId, &KeyRange, &UpdaterEntry)) {
+        self.tree.for_each(|id, range, list| {
+            for e in list {
+                f(id, range, e);
+            }
+        });
+    }
+
+    /// Approximate bookkeeping bytes (for memory accounting).
+    pub fn approx_bytes(&self) -> usize {
+        // tree node + range keys + per-entry context
+        self.node_count() * 96 + self.entry_count() * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pequod_join::SlotTable;
+
+    fn entry(js: u64) -> UpdaterEntry {
+        UpdaterEntry {
+            join: JoinId(0),
+            source_idx: 1,
+            slots: SlotTable::new().empty_set(),
+            js: JsId(js),
+            hint: None,
+        }
+    }
+
+    fn r(a: &str, b: &str) -> KeyRange {
+        KeyRange::new(a, b)
+    }
+
+    #[test]
+    fn coalesces_same_range() {
+        let mut idx = UpdaterIndex::new();
+        let a = idx.install(r("p|bob|", "p|bob}"), entry(1));
+        let b = idx.install(r("p|bob|", "p|bob}"), entry(2));
+        assert_eq!(a, b);
+        assert_eq!(idx.node_count(), 1);
+        assert_eq!(idx.entry_count(), 2);
+        // identical duplicate dropped
+        idx.install(r("p|bob|", "p|bob}"), entry(2));
+        assert_eq!(idx.entry_count(), 2);
+        // different range gets its own node
+        idx.install(r("p|liz|", "p|liz}"), entry(1));
+        assert_eq!(idx.node_count(), 2);
+    }
+
+    #[test]
+    fn stab_finds_nodes() {
+        let mut idx = UpdaterIndex::new();
+        let a = idx.install(r("p|bob|", "p|bob}"), entry(1));
+        idx.install(r("p|liz|", "p|liz}"), entry(2));
+        let hits = idx.stab(&Key::from("p|bob|100"));
+        assert_eq!(hits, vec![a]);
+        assert!(idx.stab(&Key::from("p|zed|1")).is_empty());
+    }
+
+    #[test]
+    fn remove_for_js_drops_empty_nodes() {
+        let mut idx = UpdaterIndex::new();
+        let a = idx.install(r("p|bob|", "p|bob}"), entry(1));
+        idx.install(r("p|bob|", "p|bob}"), entry(2));
+        assert_eq!(idx.remove_for_js(&[a], JoinId(0), JsId(1)), 1);
+        assert_eq!(idx.node_count(), 1);
+        // same JsId under a different join must not match
+        assert_eq!(idx.remove_for_js(&[a], JoinId(9), JsId(2)), 0);
+        assert_eq!(idx.remove_for_js(&[a], JoinId(0), JsId(2)), 1);
+        assert_eq!(idx.node_count(), 0);
+        assert_eq!(idx.entry_count(), 0);
+        // node gone: stale id is a no-op
+        assert_eq!(idx.remove_for_js(&[a], JoinId(0), JsId(2)), 0);
+    }
+
+    #[test]
+    fn reinstall_after_teardown_works() {
+        let mut idx = UpdaterIndex::new();
+        let a = idx.install(r("p|bob|", "p|bob}"), entry(1));
+        idx.remove_for_js(&[a], JoinId(0), JsId(1));
+        let b = idx.install(r("p|bob|", "p|bob}"), entry(3));
+        assert_ne!(a, b);
+        assert_eq!(idx.stab(&Key::from("p|bob|5")), vec![b]);
+    }
+
+    #[test]
+    fn entry_mut_updates_hint() {
+        let mut idx = UpdaterIndex::new();
+        let a = idx.install(r("v|", "v}"), entry(1));
+        let e = idx.entry_mut(a, 0).unwrap();
+        e.hint = Some(OutputHint {
+            out_key: Key::from("karma|ann"),
+            num: 7,
+        });
+        assert_eq!(idx.entries(a).unwrap()[0].hint.as_ref().unwrap().num, 7);
+    }
+}

@@ -1,0 +1,241 @@
+//! Aggregate cache joins: count, sum, min, max — including the Newp
+//! karma join and interleaved page joins of Figure 1.
+
+use pequod_core::{Engine, EngineConfig};
+use pequod_store::{Key, KeyRange};
+
+fn val(e: &mut Engine, key: &str) -> Option<String> {
+    e.get_value(&Key::from(key))
+        .map(|v| String::from_utf8_lossy(&v).into_owned())
+}
+
+#[test]
+fn karma_counts_votes() {
+    let mut e = Engine::new_default();
+    e.add_join_text("karma|<author> = count vote|<author>|<id>|<voter>")
+        .unwrap();
+    for (id, voter) in [("1", "ann"), ("1", "bob"), ("2", "liz")] {
+        e.put(format!("vote|kat|{id}|{voter}"), "1");
+    }
+    assert_eq!(val(&mut e, "karma|kat").as_deref(), Some("3"));
+    // Incremental: one more vote.
+    e.put("vote|kat|2|moe", "1");
+    assert_eq!(val(&mut e, "karma|kat").as_deref(), Some("4"));
+    // Vote retraction decrements.
+    e.remove(&Key::from("vote|kat|1|ann"));
+    assert_eq!(val(&mut e, "karma|kat").as_deref(), Some("3"));
+    // Other authors unaffected and absent groups yield no key.
+    assert_eq!(val(&mut e, "karma|nobody"), None);
+}
+
+#[test]
+fn count_reaching_zero_removes_group() {
+    let mut e = Engine::new_default();
+    e.add_join_text("karma|<author> = count vote|<author>|<id>|<voter>")
+        .unwrap();
+    e.put("vote|kat|1|ann", "1");
+    assert_eq!(val(&mut e, "karma|kat").as_deref(), Some("1"));
+    e.remove(&Key::from("vote|kat|1|ann"));
+    assert_eq!(val(&mut e, "karma|kat"), None);
+}
+
+#[test]
+fn vote_value_update_does_not_change_count() {
+    let mut e = Engine::new_default();
+    e.add_join_text("karma|<author> = count vote|<author>|<id>|<voter>")
+        .unwrap();
+    e.put("vote|kat|1|ann", "1");
+    assert_eq!(val(&mut e, "karma|kat").as_deref(), Some("1"));
+    e.put("vote|kat|1|ann", "2"); // update, not insert
+    assert_eq!(val(&mut e, "karma|kat").as_deref(), Some("1"));
+}
+
+#[test]
+fn sum_tracks_inserts_updates_removes() {
+    let mut e = Engine::new_default();
+    e.add_join_text("total|<user> = sum spend|<user>|<txn>").unwrap();
+    e.put("spend|ann|t1", "10");
+    e.put("spend|ann|t2", "5");
+    assert_eq!(val(&mut e, "total|ann").as_deref(), Some("15"));
+    e.put("spend|ann|t1", "20"); // update: +10
+    assert_eq!(val(&mut e, "total|ann").as_deref(), Some("25"));
+    e.remove(&Key::from("spend|ann|t2"));
+    assert_eq!(val(&mut e, "total|ann").as_deref(), Some("20"));
+}
+
+#[test]
+fn min_max_maintain_extrema() {
+    let mut e = Engine::new_default();
+    e.add_join_text("lo|<m> = min reading|<m>|<t>").unwrap();
+    e.add_join_text("hi|<m> = max reading|<m>|<t>").unwrap();
+    e.put("reading|cpu|1", "40");
+    e.put("reading|cpu|2", "25");
+    e.put("reading|cpu|3", "33");
+    assert_eq!(val(&mut e, "lo|cpu").as_deref(), Some("25"));
+    assert_eq!(val(&mut e, "hi|cpu").as_deref(), Some("40"));
+    // Better values update eagerly.
+    e.put("reading|cpu|4", "10");
+    assert_eq!(val(&mut e, "lo|cpu").as_deref(), Some("10"));
+}
+
+#[test]
+fn min_retraction_forces_recompute() {
+    let mut e = Engine::new_default();
+    e.add_join_text("lo|<m> = min reading|<m>|<t>").unwrap();
+    e.put("reading|cpu|1", "40");
+    e.put("reading|cpu|2", "25");
+    assert_eq!(val(&mut e, "lo|cpu").as_deref(), Some("25"));
+    // Remove the current minimum: the range must recompute to 40.
+    e.remove(&Key::from("reading|cpu|2"));
+    assert!(e.stats().complete_invalidations >= 1);
+    assert_eq!(val(&mut e, "lo|cpu").as_deref(), Some("40"));
+    // Remove the last reading: group disappears after recompute.
+    e.remove(&Key::from("reading|cpu|1"));
+    assert_eq!(val(&mut e, "lo|cpu"), None);
+}
+
+#[test]
+fn max_update_shrinking_extremum_recomputes() {
+    let mut e = Engine::new_default();
+    e.add_join_text("hi|<m> = max reading|<m>|<t>").unwrap();
+    e.put("reading|cpu|1", "40");
+    e.put("reading|cpu|2", "30");
+    assert_eq!(val(&mut e, "hi|cpu").as_deref(), Some("40"));
+    // Shrink the max in place.
+    e.put("reading|cpu|1", "20");
+    assert_eq!(val(&mut e, "hi|cpu").as_deref(), Some("30"));
+}
+
+#[test]
+fn output_hints_speed_up_counts() {
+    let run = |hints: bool| -> (String, u64) {
+        let mut cfg = EngineConfig::default();
+        cfg.output_hints = hints;
+        let mut e = Engine::new(cfg);
+        e.add_join_text("karma|<author> = count vote|<author>|<id>|<voter>")
+            .unwrap();
+        e.put("vote|kat|0|v0", "1");
+        e.scan(&KeyRange::prefix("karma|kat")); // materialize
+        for i in 1..100 {
+            e.put(format!("vote|kat|{i}|v{i}"), "1");
+        }
+        let v = e
+            .get_value(&Key::from("karma|kat"))
+            .map(|v| String::from_utf8_lossy(&v).into_owned())
+            .unwrap();
+        (v, e.stats().hint_hits)
+    };
+    let (v_hint, hits_hint) = run(true);
+    let (v_plain, hits_plain) = run(false);
+    assert_eq!(v_hint, "100");
+    assert_eq!(v_plain, "100");
+    // The first maintenance event after materialization seeds the hint;
+    // the remaining 98 hit it.
+    assert!(hits_hint >= 98, "hints should serve repeated counts");
+    assert_eq!(hits_plain, 0);
+}
+
+#[test]
+fn newp_interleaved_page_joins() {
+    // Figure 1: articles, vote ranks, comments, and commenter karma all
+    // collated into one page| range.
+    let mut e = Engine::new_default();
+    e.add_joins_text(
+        r#"
+        karma|<author> = count vote|<author>|<id>|<voter>;
+        rank|<author>|<id> = count vote|<author>|<id>|<voter>;
+        page|<author>|<id>|a = copy article|<author>|<id>;
+        page|<author>|<id>|r = copy rank|<author>|<id>;
+        page|<author>|<id>|c|<cid>|<commenter> = copy comment|<author>|<id>|<cid>|<commenter>;
+        page|<author>|<id>|k|<cid>|<commenter> =
+            check comment|<author>|<id>|<cid>|<commenter> copy karma|<commenter>
+        "#,
+    )
+    .unwrap();
+
+    e.put("article|bob|101", "A great article");
+    e.put("vote|bob|101|ann", "1");
+    e.put("vote|bob|101|liz", "1");
+    e.put("comment|bob|101|c1|kat", "first!");
+    // kat has karma from her own article's votes
+    e.put("vote|kat|7|zed", "1");
+
+    let page = e.scan(&KeyRange::prefix("page|bob|101|"));
+    let got: Vec<(String, String)> = page
+        .pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), String::from_utf8_lossy(v).into_owned()))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("page|bob|101|a".to_string(), "A great article".to_string()),
+            ("page|bob|101|c|c1|kat".to_string(), "first!".to_string()),
+            ("page|bob|101|k|c1|kat".to_string(), "1".to_string()),
+            ("page|bob|101|r".to_string(), "2".to_string()),
+        ]
+    );
+
+    // A new vote on the article propagates through rank into the page.
+    e.put("vote|bob|101|moe", "1");
+    let page = e.scan(&KeyRange::prefix("page|bob|101|"));
+    let rank = page
+        .pairs
+        .iter()
+        .find(|(k, _)| k.to_string() == "page|bob|101|r")
+        .unwrap();
+    assert_eq!(String::from_utf8_lossy(&rank.1), "3");
+
+    // A vote on kat's article propagates karma -> page|...|k entry.
+    e.put("vote|kat|7|ann", "1");
+    let page = e.scan(&KeyRange::prefix("page|bob|101|"));
+    let karma = page
+        .pairs
+        .iter()
+        .find(|(k, _)| k.to_string() == "page|bob|101|k|c1|kat")
+        .unwrap();
+    assert_eq!(String::from_utf8_lossy(&karma.1), "2");
+}
+
+#[test]
+fn aggregate_over_existing_then_incremental_matches_recompute() {
+    let mut e = Engine::new_default();
+    e.add_join_text("karma|<author> = count vote|<author>|<id>|<voter>")
+        .unwrap();
+    // interleave reads and writes, comparing against a fresh engine
+    let mut votes = vec![];
+    for i in 0..30 {
+        let author = if i % 3 == 0 { "kat" } else { "bob" };
+        let key = format!("vote|{author}|{}|v{}", i / 2, i);
+        e.put(key.clone(), "1");
+        votes.push(key);
+        if i % 5 == 0 {
+            e.scan(&KeyRange::prefix("karma|"));
+        }
+        if i % 7 == 0 && !votes.is_empty() {
+            let k = votes.remove(0);
+            e.remove(&Key::from(k));
+        }
+    }
+    let got: Vec<(String, String)> = e
+        .scan(&KeyRange::prefix("karma|"))
+        .pairs
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), String::from_utf8_lossy(&v).into_owned()))
+        .collect();
+    // Oracle: recompute from the surviving vote keys.
+    let mut fresh = Engine::new_default();
+    fresh
+        .add_join_text("karma|<author> = count vote|<author>|<id>|<voter>")
+        .unwrap();
+    for k in &votes {
+        fresh.put(k.clone(), "1");
+    }
+    let want: Vec<(String, String)> = fresh
+        .scan(&KeyRange::prefix("karma|"))
+        .pairs
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), String::from_utf8_lossy(&v).into_owned()))
+        .collect();
+    assert_eq!(got, want);
+}

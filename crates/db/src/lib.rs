@@ -1,0 +1,357 @@
+//! `pequod-db` — the persistent backing store substrate.
+//!
+//! The paper deploys Pequod in front of a database (§2): "a convenient
+//! way to do this is to connect Pequod with a database shard, instructing
+//! Pequod that some keys can be found in the database and instructing the
+//! database that updates to relevant tables should be forwarded to Pequod
+//! (e.g., using Postgres's notify statement)."
+//!
+//! This crate implements that substrate: an ordered [`Database`] with
+//! range subscriptions that enqueue [`Notification`]s on every write
+//! (the NOTIFY analogue), and a [`WriteAround`] deployment that wires a
+//! database to a `pequod_core::Engine`: application writes go to the
+//! database, reads go to the cache, and the cache lazily loads and
+//! subscribes to the ranges it needs (§3.3).
+
+#![warn(missing_docs)]
+
+use pequod_core::{Engine, ScanResult};
+use pequod_store::{Key, KeyRange, Value};
+use std::collections::{BTreeMap, VecDeque};
+use std::ops::Bound;
+
+/// Identifies a subscriber (e.g. one cache server).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SubscriberId(pub u32);
+
+/// A change notification forwarded to a subscriber.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Notification {
+    /// Who should receive it.
+    pub subscriber: SubscriberId,
+    /// The modified key.
+    pub key: Key,
+    /// The new value, or `None` for a deletion.
+    pub value: Option<Value>,
+}
+
+/// Database operation counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DbStats {
+    /// Row writes (insert or update).
+    pub writes: u64,
+    /// Row deletions.
+    pub deletes: u64,
+    /// Range queries served.
+    pub queries: u64,
+    /// Rows returned by queries.
+    pub rows_read: u64,
+    /// Notifications enqueued.
+    pub notifications: u64,
+}
+
+/// An ordered persistent store with range subscriptions.
+#[derive(Default)]
+pub struct Database {
+    rows: BTreeMap<Key, Value>,
+    subs: Vec<(KeyRange, SubscriberId)>,
+    queue: VecDeque<Notification>,
+    stats: DbStats,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the database holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &DbStats {
+        &self.stats
+    }
+
+    /// Inserts or updates a row, notifying matching subscribers.
+    pub fn insert(&mut self, key: impl Into<Key>, value: impl Into<Value>) {
+        let key = key.into();
+        let value = value.into();
+        self.stats.writes += 1;
+        self.rows.insert(key.clone(), value.clone());
+        self.notify(&key, Some(value));
+    }
+
+    /// Deletes a row, notifying matching subscribers.
+    pub fn delete(&mut self, key: &Key) {
+        if self.rows.remove(key).is_some() {
+            self.stats.deletes += 1;
+            self.notify(key, None);
+        }
+    }
+
+    fn notify(&mut self, key: &Key, value: Option<Value>) {
+        for (range, sub) in &self.subs {
+            if range.contains(key) {
+                self.queue.push_back(Notification {
+                    subscriber: *sub,
+                    key: key.clone(),
+                    value: value.clone(),
+                });
+                self.stats.notifications += 1;
+            }
+        }
+    }
+
+    /// Reads all rows in a range.
+    pub fn query(&mut self, range: &KeyRange) -> Vec<(Key, Value)> {
+        self.stats.queries += 1;
+        if range.is_empty() {
+            return vec![];
+        }
+        let upper = match range.end.as_key() {
+            Some(k) => Bound::Excluded(k.clone()),
+            None => Bound::Unbounded,
+        };
+        let rows: Vec<(Key, Value)> = self
+            .rows
+            .range((Bound::Included(range.first.clone()), upper))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        self.stats.rows_read += rows.len() as u64;
+        rows
+    }
+
+    /// Reads a range and registers the subscriber for future changes to
+    /// it (query + NOTIFY setup in one step, as a cache fetch would do).
+    pub fn query_subscribe(
+        &mut self,
+        range: &KeyRange,
+        subscriber: SubscriberId,
+    ) -> Vec<(Key, Value)> {
+        let rows = self.query(range);
+        // Avoid exact-duplicate subscriptions.
+        if !self
+            .subs
+            .iter()
+            .any(|(r, s)| r == range && *s == subscriber)
+        {
+            self.subs.push((range.clone(), subscriber));
+        }
+        rows
+    }
+
+    /// Removes all subscriptions of a subscriber overlapping `range`
+    /// (used when a cache evicts the data).
+    pub fn unsubscribe(&mut self, range: &KeyRange, subscriber: SubscriberId) {
+        self.subs
+            .retain(|(r, s)| !(*s == subscriber && r.overlaps(range)));
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Drains pending notifications (the NOTIFY channel).
+    pub fn drain_notifications(&mut self) -> Vec<Notification> {
+        self.queue.drain(..).collect()
+    }
+}
+
+/// A write-around deployment (§2): application writes go to the
+/// database; reads go to the Pequod cache, which loads and subscribes to
+/// database ranges on demand.
+pub struct WriteAround {
+    /// The backing database.
+    pub db: Database,
+    /// The cache engine.
+    pub cache: Engine,
+    id: SubscriberId,
+    /// Fetch round-trips performed on behalf of reads.
+    pub fetches: u64,
+}
+
+impl WriteAround {
+    /// Wires a cache to a database. `db_tables` lists the table prefixes
+    /// that live in the database (e.g. `["p|", "s|"]` for Twip).
+    pub fn new(mut cache: Engine, db_tables: &[&str]) -> WriteAround {
+        for t in db_tables {
+            cache.mark_remote_table(*t);
+        }
+        WriteAround {
+            db: Database::new(),
+            cache,
+            id: SubscriberId(0),
+            fetches: 0,
+        }
+    }
+
+    /// An application write: goes to the database, which notifies the
+    /// cache about subscribed ranges.
+    pub fn write(&mut self, key: impl Into<Key>, value: impl Into<Value>) {
+        self.db.insert(key, value);
+        self.pump();
+    }
+
+    /// An application delete.
+    pub fn delete(&mut self, key: &Key) {
+        self.db.delete(key);
+        self.pump();
+    }
+
+    /// Forwards pending database notifications into the cache.
+    ///
+    /// Notification delivery is asynchronous in a real deployment; call
+    /// sites that want to observe the update delay can batch calls.
+    pub fn pump(&mut self) {
+        for n in self.db.drain_notifications() {
+            match n.value {
+                Some(v) => self.cache.put(n.key, v),
+                None => self.cache.remove(&n.key),
+            }
+        }
+    }
+
+    /// An application read: scans the cache, resolving missing base data
+    /// from the database (with subscription) and restarting until the
+    /// result is complete (§3.3).
+    pub fn read(&mut self, range: &KeyRange) -> ScanResult {
+        loop {
+            let res = self.cache.scan(range);
+            if res.is_complete() {
+                return res;
+            }
+            for miss in &res.missing {
+                self.fetches += 1;
+                let rows = self.db.query_subscribe(miss, self.id);
+                self.cache.install_base(miss, rows);
+            }
+        }
+    }
+
+    /// Point read through the cache.
+    pub fn read_key(&mut self, key: &Key) -> Option<Value> {
+        self.read(&KeyRange::single(key.clone()))
+            .pairs
+            .pop()
+            .map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pequod_core::EngineConfig;
+
+    #[test]
+    fn insert_query_delete() {
+        let mut db = Database::new();
+        db.insert("p|bob|100", "Hi");
+        db.insert("p|bob|120", "again");
+        db.insert("p|liz|124", "hello");
+        assert_eq!(db.len(), 3);
+        let rows = db.query(&KeyRange::prefix("p|bob|"));
+        assert_eq!(rows.len(), 2);
+        db.delete(&Key::from("p|bob|100"));
+        assert_eq!(db.query(&KeyRange::prefix("p|bob|")).len(), 1);
+        // deleting a missing row is a no-op (no notification)
+        db.delete(&Key::from("p|bob|999"));
+        assert_eq!(db.stats().deletes, 1);
+    }
+
+    #[test]
+    fn subscriptions_notify_in_range_only() {
+        let mut db = Database::new();
+        db.query_subscribe(&KeyRange::prefix("p|bob|"), SubscriberId(7));
+        db.insert("p|bob|100", "Hi"); // in range
+        db.insert("p|liz|100", "no"); // out of range
+        db.delete(&Key::from("p|bob|100"));
+        let ns = db.drain_notifications();
+        assert_eq!(ns.len(), 2);
+        assert_eq!(ns[0].subscriber, SubscriberId(7));
+        assert_eq!(ns[0].value.as_deref(), Some(&b"Hi"[..]));
+        assert_eq!(ns[1].value, None);
+        assert!(db.drain_notifications().is_empty());
+    }
+
+    #[test]
+    fn duplicate_subscriptions_collapse() {
+        let mut db = Database::new();
+        db.query_subscribe(&KeyRange::prefix("p|"), SubscriberId(1));
+        db.query_subscribe(&KeyRange::prefix("p|"), SubscriberId(1));
+        assert_eq!(db.subscription_count(), 1);
+        db.unsubscribe(&KeyRange::prefix("p|"), SubscriberId(1));
+        assert_eq!(db.subscription_count(), 0);
+    }
+
+    #[test]
+    fn write_around_timeline_end_to_end() {
+        let mut engine = Engine::new(EngineConfig::default());
+        engine
+            .add_join_text(
+                "t|<user>|<time:10>|<poster> = check s|<user>|<poster> copy p|<poster>|<time:10>",
+            )
+            .unwrap();
+        let mut wa = WriteAround::new(engine, &["p|", "s|"]);
+
+        // Application writes go to the DB only.
+        wa.write("s|ann|bob", "1");
+        wa.write("p|bob|0000000100", "Hi");
+        assert_eq!(wa.cache.store_stats().keys, 0);
+
+        // A timeline read pulls base data from the DB and computes.
+        let tl = wa.read(&KeyRange::prefix("t|ann|"));
+        assert_eq!(tl.pairs.len(), 1);
+        assert!(wa.fetches >= 2); // subscriptions + posts
+
+        // A later DB write is forwarded via NOTIFY and incrementally
+        // maintained — no further fetches.
+        let fetches = wa.fetches;
+        wa.write("p|bob|0000000120", "again");
+        let tl = wa.read(&KeyRange::prefix("t|ann|"));
+        assert_eq!(tl.pairs.len(), 2);
+        assert_eq!(wa.fetches, fetches);
+    }
+
+    #[test]
+    fn write_around_deletion_propagates() {
+        let mut engine = Engine::new(EngineConfig::default());
+        engine
+            .add_join_text(
+                "t|<user>|<time:10>|<poster> = check s|<user>|<poster> copy p|<poster>|<time:10>",
+            )
+            .unwrap();
+        let mut wa = WriteAround::new(engine, &["p|", "s|"]);
+        wa.write("s|ann|bob", "1");
+        wa.write("p|bob|0000000100", "Hi");
+        assert_eq!(wa.read(&KeyRange::prefix("t|ann|")).pairs.len(), 1);
+        wa.delete(&Key::from("p|bob|0000000100"));
+        assert_eq!(wa.read(&KeyRange::prefix("t|ann|")).pairs.len(), 0);
+    }
+
+    #[test]
+    fn write_around_point_reads() {
+        let engine = Engine::new(EngineConfig::default());
+        let mut wa = WriteAround::new(engine, &["acct|"]);
+        wa.write("acct|ann", "1000");
+        assert_eq!(
+            wa.read_key(&Key::from("acct|ann")).as_deref(),
+            Some(&b"1000"[..])
+        );
+        assert_eq!(wa.read_key(&Key::from("acct|zed")), None);
+        // Cached now: a DB update still reaches the cache via notify.
+        wa.write("acct|ann", "900");
+        assert_eq!(
+            wa.read_key(&Key::from("acct|ann")).as_deref(),
+            Some(&b"900"[..])
+        );
+    }
+}

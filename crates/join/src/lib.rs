@@ -1,0 +1,159 @@
+//! `pequod-join` — the cache-join language.
+//!
+//! A *cache join* (Pequod, NSDI '14) declaratively relates computed
+//! key-value data to base data: the Twip timeline join
+//!
+//! ```text
+//! t|<user>|<time:10>|<poster> = check s|<user>|<poster> copy p|<poster>|<time:10>
+//! ```
+//!
+//! defines `t|user|time|poster` as a copy of `p|poster|time` whenever the
+//! subscription `s|user|poster` exists. This crate provides:
+//!
+//! * [`Pattern`] — key patterns with delimiter- and fixed-width slots,
+//!   key matching, expansion, and slot derivation from scan ranges;
+//! * [`SlotTable`] / [`SlotSet`] — interned slot names and partial slot
+//!   assignments (§3.1's "slot sets");
+//! * [`containing_range`] — the minimal source range that can affect a
+//!   requested output range (§3.1's "containing ranges");
+//! * [`JoinSpec`] — the parsed and validated join grammar of Figure 2,
+//!   including maintenance annotations (`push` / `pull` / `snapshot T`).
+//!
+//! Query execution and incremental maintenance live in `pequod-core`.
+
+#![warn(missing_docs)]
+
+pub mod containing;
+pub mod pattern;
+pub mod slots;
+pub mod spec;
+
+pub use containing::containing_range;
+pub use pattern::{Pattern, PatternError, Token};
+pub use slots::{SlotId, SlotSet, SlotTable};
+pub use spec::{parse_joins, JoinError, JoinSpec, Maintenance, Operator, Source};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use pequod_store::{Key, KeyRange};
+    use proptest::prelude::*;
+
+    /// Key components use a low alphabet so that the `|` delimiter sorts
+    /// above every value byte, matching the documented key convention.
+    fn component() -> impl Strategy<Value = String> {
+        proptest::string::string_regex("[a-d]{1,3}").unwrap()
+    }
+
+    fn fixed_component(width: usize) -> impl Strategy<Value = String> {
+        proptest::string::string_regex(&format!("[0-9]{{{width}}}")).unwrap()
+    }
+
+    proptest! {
+        /// match(expand(slots)) binds the same slots back.
+        #[test]
+        fn expand_match_roundtrip(user in component(), time in fixed_component(3), poster in component()) {
+            let mut table = SlotTable::new();
+            let pat = Pattern::parse("t|<user>|<time:3>|<poster>", &mut table).unwrap();
+            let mut slots = table.empty_set();
+            slots.bind(table.lookup("user").unwrap(), user.clone().into_bytes().into());
+            slots.bind(table.lookup("time").unwrap(), time.clone().into_bytes().into());
+            slots.bind(table.lookup("poster").unwrap(), poster.clone().into_bytes().into());
+            let key = pat.expand(&slots).unwrap();
+            let mut bound = table.empty_set();
+            prop_assert!(pat.match_key(&key, &mut bound));
+            prop_assert_eq!(bound.get(table.lookup("user").unwrap()).unwrap().as_ref(), user.as_bytes());
+            prop_assert_eq!(bound.get(table.lookup("time").unwrap()).unwrap().as_ref(), time.as_bytes());
+            prop_assert_eq!(bound.get(table.lookup("poster").unwrap()).unwrap().as_ref(), poster.as_bytes());
+        }
+
+        /// Soundness of containing ranges by enumeration: every source key
+        /// whose join output lands in the scanned range must fall inside
+        /// the computed containing range — for random scan bounds.
+        #[test]
+        fn containing_range_sound(
+            scan_lo in component(), scan_lo_time in fixed_component(3),
+            scan_hi in component(), scan_hi_time in fixed_component(3),
+            user in component(), poster in component(),
+            times in proptest::collection::vec(fixed_component(3), 1..6),
+        ) {
+            let mut table = SlotTable::new();
+            let output = Pattern::parse("t|<user>|<time:3>|<poster>", &mut table).unwrap();
+            let source = Pattern::parse("p|<poster>|<time:3>", &mut table).unwrap();
+            let scan = KeyRange::new(
+                format!("t|{scan_lo}|{scan_lo_time}"),
+                format!("t|{scan_hi}|{scan_hi_time}"),
+            );
+            let mut slots = table.empty_set();
+            slots.bind(table.lookup("user").unwrap(), user.clone().into_bytes().into());
+            slots.bind(table.lookup("poster").unwrap(), poster.clone().into_bytes().into());
+            let crange = containing_range(&source, &output, &slots, &scan);
+            for time in &times {
+                let skey = Key::from(format!("p|{poster}|{time}"));
+                let okey = Key::from(format!("t|{user}|{time}|{poster}"));
+                if scan.contains(&okey) {
+                    prop_assert!(
+                        crange.contains(&skey),
+                        "scan {:?}: {:?} contributes {:?} but containing {:?} misses it",
+                        scan, skey, okey, crange
+                    );
+                }
+            }
+        }
+
+        /// Same soundness property for a variable-width time slot, where
+        /// the range must be conservative.
+        #[test]
+        fn containing_range_sound_variable(
+            scan_lo_time in component(), scan_hi_time in component(),
+            user in component(), poster in component(),
+            times in proptest::collection::vec(component(), 1..6),
+        ) {
+            let mut table = SlotTable::new();
+            let output = Pattern::parse("t|<user>|<time>|<poster>", &mut table).unwrap();
+            let source = Pattern::parse("p|<poster>|<time>", &mut table).unwrap();
+            let scan = KeyRange::new(
+                format!("t|{user}|{scan_lo_time}"),
+                format!("t|{user}|{scan_hi_time}"),
+            );
+            let mut slots = table.empty_set();
+            slots.bind(table.lookup("user").unwrap(), user.clone().into_bytes().into());
+            slots.bind(table.lookup("poster").unwrap(), poster.clone().into_bytes().into());
+            let crange = containing_range(&source, &output, &slots, &scan);
+            for time in &times {
+                let skey = Key::from(format!("p|{poster}|{time}"));
+                let okey = Key::from(format!("t|{user}|{time}|{poster}"));
+                if scan.contains(&okey) {
+                    prop_assert!(
+                        crange.contains(&skey),
+                        "scan {:?}: {:?} contributes {:?} but containing {:?} misses it",
+                        scan, skey, okey, crange
+                    );
+                }
+            }
+        }
+
+        /// derive_slots never binds a slot to a wrong value: any in-range
+        /// key matching the pattern agrees with every derived binding.
+        #[test]
+        fn derive_slots_consistent(
+            user in component(), time in fixed_component(3), poster in component(),
+            hi_time in fixed_component(3),
+        ) {
+            let mut table = SlotTable::new();
+            let pat = Pattern::parse("t|<user>|<time:3>|<poster>", &mut table).unwrap();
+            let range = KeyRange::new(
+                format!("t|{user}|{time}"),
+                format!("t|{user}|{hi_time}"),
+            );
+            if range.is_empty() { return Ok(()); }
+            let mut derived = table.empty_set();
+            pat.derive_slots(&range, &mut derived);
+            let probe = Key::from(format!("t|{user}|{time}|{poster}"));
+            if range.contains(&probe) {
+                let mut bound = derived.clone();
+                prop_assert!(pat.match_key(&probe, &mut bound), "derived bindings conflicted with in-range key");
+            }
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! Binary wire codec with length-prefixed framing.
+//!
+//! Layout: every frame is `u32-le length` + body; the body is a tag byte
+//! followed by fields. Strings and keys are `u32-le length` + bytes;
+//! optional values use a presence byte. The format is hand-rolled on
+//! `bytes` in the style of the Tokio framing tutorial — no external
+//! serialization crates.
+
+use crate::message::{range_end_key, range_from_parts, Message};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pequod_store::{Key, KeyRange, Value};
+use std::fmt;
+
+/// Maximum accepted frame body, to bound allocation on malformed input.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The tag byte named no known message.
+    BadTag(u8),
+    /// The body ended before a field was complete.
+    Truncated,
+    /// A declared length exceeded [`MAX_FRAME`].
+    Oversized(usize),
+    /// String field held invalid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadTag(t) => write!(f, "unknown message tag {t:#x}"),
+            CodecError::Truncated => write!(f, "truncated frame"),
+            CodecError::Oversized(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            CodecError::BadUtf8 => write!(f, "invalid utf-8 in string field"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const TAG_GET: u8 = 1;
+const TAG_PUT: u8 = 2;
+const TAG_REMOVE: u8 = 3;
+const TAG_SCAN: u8 = 4;
+const TAG_ADD_JOIN: u8 = 5;
+const TAG_REPLY: u8 = 6;
+const TAG_SUBSCRIBE: u8 = 7;
+const TAG_SUBSCRIBE_REPLY: u8 = 8;
+const TAG_NOTIFY: u8 = 9;
+const TAG_UNSUBSCRIBE: u8 = 10;
+
+fn put_bytes(buf: &mut BytesMut, b: &[u8]) {
+    buf.put_u32_le(b.len() as u32);
+    buf.put_slice(b);
+}
+
+fn put_opt_bytes(buf: &mut BytesMut, b: Option<&[u8]>) {
+    match b {
+        Some(b) => {
+            buf.put_u8(1);
+            put_bytes(buf, b);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn put_range(buf: &mut BytesMut, range: &KeyRange) {
+    put_bytes(buf, range.first.as_bytes());
+    put_opt_bytes(buf, range_end_key(range).map(|k| k.as_bytes()));
+}
+
+fn put_pairs(buf: &mut BytesMut, pairs: &[(Key, Value)]) {
+    buf.put_u32_le(pairs.len() as u32);
+    for (k, v) in pairs {
+        put_bytes(buf, k.as_bytes());
+        put_bytes(buf, v);
+    }
+}
+
+/// Encodes a message body (without the frame length prefix).
+pub fn encode(msg: &Message, buf: &mut BytesMut) {
+    match msg {
+        Message::Get { id, key } => {
+            buf.put_u8(TAG_GET);
+            buf.put_u64_le(*id);
+            put_bytes(buf, key.as_bytes());
+        }
+        Message::Put { id, key, value } => {
+            buf.put_u8(TAG_PUT);
+            buf.put_u64_le(*id);
+            put_bytes(buf, key.as_bytes());
+            put_bytes(buf, value);
+        }
+        Message::Remove { id, key } => {
+            buf.put_u8(TAG_REMOVE);
+            buf.put_u64_le(*id);
+            put_bytes(buf, key.as_bytes());
+        }
+        Message::Scan { id, range } => {
+            buf.put_u8(TAG_SCAN);
+            buf.put_u64_le(*id);
+            put_range(buf, range);
+        }
+        Message::AddJoin { id, text } => {
+            buf.put_u8(TAG_ADD_JOIN);
+            buf.put_u64_le(*id);
+            put_bytes(buf, text.as_bytes());
+        }
+        Message::Reply { id, pairs, error } => {
+            buf.put_u8(TAG_REPLY);
+            buf.put_u64_le(*id);
+            put_pairs(buf, pairs);
+            put_opt_bytes(buf, error.as_ref().map(|s| s.as_bytes()));
+        }
+        Message::Subscribe { id, range } => {
+            buf.put_u8(TAG_SUBSCRIBE);
+            buf.put_u64_le(*id);
+            put_range(buf, range);
+        }
+        Message::SubscribeReply { id, range, pairs } => {
+            buf.put_u8(TAG_SUBSCRIBE_REPLY);
+            buf.put_u64_le(*id);
+            put_range(buf, range);
+            put_pairs(buf, pairs);
+        }
+        Message::Notify { key, value } => {
+            buf.put_u8(TAG_NOTIFY);
+            put_bytes(buf, key.as_bytes());
+            put_opt_bytes(buf, value.as_deref());
+        }
+        Message::Unsubscribe { range } => {
+            buf.put_u8(TAG_UNSUBSCRIBE);
+            put_range(buf, range);
+        }
+    }
+}
+
+/// Encodes a message as one length-prefixed frame.
+pub fn encode_frame(msg: &Message) -> Bytes {
+    let mut body = BytesMut::new();
+    encode(msg, &mut body);
+    let mut frame = BytesMut::with_capacity(4 + body.len());
+    frame.put_u32_le(body.len() as u32);
+    frame.put_slice(&body);
+    frame.freeze()
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        if self.buf.remaining() < 1 {
+            return Err(CodecError::Truncated);
+        }
+        Ok(self.buf.get_u8())
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        if self.buf.remaining() < 4 {
+            return Err(CodecError::Truncated);
+        }
+        Ok(self.buf.get_u32_le())
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        if self.buf.remaining() < 8 {
+            return Err(CodecError::Truncated);
+        }
+        Ok(self.buf.get_u64_le())
+    }
+
+    fn bytes(&mut self) -> Result<Bytes, CodecError> {
+        let n = self.u32()? as usize;
+        if n > MAX_FRAME {
+            return Err(CodecError::Oversized(n));
+        }
+        if self.buf.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let out = Bytes::copy_from_slice(&self.buf[..n]);
+        self.buf.advance(n);
+        Ok(out)
+    }
+
+    fn key(&mut self) -> Result<Key, CodecError> {
+        Ok(Key::from(self.bytes()?))
+    }
+
+    fn opt_bytes(&mut self) -> Result<Option<Bytes>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            _ => Ok(Some(self.bytes()?)),
+        }
+    }
+
+    fn range(&mut self) -> Result<KeyRange, CodecError> {
+        let first = self.key()?;
+        let end = self.opt_bytes()?.map(Key::from);
+        Ok(range_from_parts(first, end))
+    }
+
+    fn pairs(&mut self) -> Result<Vec<(Key, Value)>, CodecError> {
+        let n = self.u32()? as usize;
+        if n > MAX_FRAME / 8 {
+            return Err(CodecError::Oversized(n));
+        }
+        let mut out = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let k = self.key()?;
+            let v = self.bytes()?;
+            out.push((k, v));
+        }
+        Ok(out)
+    }
+
+    fn string(&mut self) -> Result<String, CodecError> {
+        String::from_utf8(self.bytes()?.to_vec()).map_err(|_| CodecError::BadUtf8)
+    }
+}
+
+/// Decodes one message body (without the frame length prefix).
+pub fn decode(body: &[u8]) -> Result<Message, CodecError> {
+    let mut r = Reader { buf: body };
+    let tag = r.u8()?;
+    let msg = match tag {
+        TAG_GET => Message::Get {
+            id: r.u64()?,
+            key: r.key()?,
+        },
+        TAG_PUT => Message::Put {
+            id: r.u64()?,
+            key: r.key()?,
+            value: r.bytes()?,
+        },
+        TAG_REMOVE => Message::Remove {
+            id: r.u64()?,
+            key: r.key()?,
+        },
+        TAG_SCAN => Message::Scan {
+            id: r.u64()?,
+            range: r.range()?,
+        },
+        TAG_ADD_JOIN => Message::AddJoin {
+            id: r.u64()?,
+            text: r.string()?,
+        },
+        TAG_REPLY => Message::Reply {
+            id: r.u64()?,
+            pairs: r.pairs()?,
+            error: match r.opt_bytes()? {
+                Some(b) => {
+                    Some(String::from_utf8(b.to_vec()).map_err(|_| CodecError::BadUtf8)?)
+                }
+                None => None,
+            },
+        },
+        TAG_SUBSCRIBE => Message::Subscribe {
+            id: r.u64()?,
+            range: r.range()?,
+        },
+        TAG_SUBSCRIBE_REPLY => Message::SubscribeReply {
+            id: r.u64()?,
+            range: r.range()?,
+            pairs: r.pairs()?,
+        },
+        TAG_NOTIFY => Message::Notify {
+            key: r.key()?,
+            value: r.opt_bytes()?,
+        },
+        TAG_UNSUBSCRIBE => Message::Unsubscribe { range: r.range()? },
+        t => return Err(CodecError::BadTag(t)),
+    };
+    Ok(msg)
+}
+
+/// Tries to split one complete frame off the front of `buf`, returning
+/// its decoded message. Returns `Ok(None)` if more bytes are needed.
+pub fn decode_frame(buf: &mut BytesMut) -> Result<Option<Message>, CodecError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME {
+        return Err(CodecError::Oversized(len));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    buf.advance(4);
+    let body = buf.split_to(len);
+    decode(&body).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pequod_store::UpperBound;
+
+    fn roundtrip(msg: Message) {
+        let mut buf = BytesMut::new();
+        encode(&msg, &mut buf);
+        let got = decode(&buf).unwrap();
+        assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        roundtrip(Message::Get {
+            id: 7,
+            key: Key::from("p|bob|100"),
+        });
+        roundtrip(Message::Put {
+            id: 8,
+            key: Key::from("p|bob|100"),
+            value: Bytes::from_static(b"Hi"),
+        });
+        roundtrip(Message::Remove {
+            id: 9,
+            key: Key::from("p|bob|100"),
+        });
+        roundtrip(Message::Scan {
+            id: 10,
+            range: KeyRange::new("t|ann|100", "t|ann|200"),
+        });
+        roundtrip(Message::Scan {
+            id: 11,
+            range: KeyRange::with_bound("t|ann|", UpperBound::Unbounded),
+        });
+        roundtrip(Message::AddJoin {
+            id: 12,
+            text: "t|<u> = copy p|<u>".to_string(),
+        });
+        roundtrip(Message::reply(
+            13,
+            vec![
+                (Key::from("a"), Bytes::from_static(b"1")),
+                (Key::from("b"), Bytes::new()),
+            ],
+        ));
+        roundtrip(Message::error(14, "nope"));
+        roundtrip(Message::Subscribe {
+            id: 15,
+            range: KeyRange::prefix("p|bob|"),
+        });
+        roundtrip(Message::SubscribeReply {
+            id: 16,
+            range: KeyRange::prefix("p|bob|"),
+            pairs: vec![(Key::from("p|bob|1"), Bytes::from_static(b"x"))],
+        });
+        roundtrip(Message::Notify {
+            key: Key::from("p|bob|1"),
+            value: Some(Bytes::from_static(b"x")),
+        });
+        roundtrip(Message::Notify {
+            key: Key::from("p|bob|1"),
+            value: None,
+        });
+        roundtrip(Message::Unsubscribe {
+            range: KeyRange::prefix("p|"),
+        });
+    }
+
+    #[test]
+    fn framing_handles_partial_input() {
+        let msg = Message::Put {
+            id: 1,
+            key: Key::from("k"),
+            value: Bytes::from_static(b"v"),
+        };
+        let frame = encode_frame(&msg);
+        // Feed the frame one byte at a time.
+        let mut buf = BytesMut::new();
+        for (i, b) in frame.iter().enumerate() {
+            buf.put_u8(*b);
+            let r = decode_frame(&mut buf).unwrap();
+            if i + 1 < frame.len() {
+                assert!(r.is_none(), "decoded early at byte {i}");
+            } else {
+                assert_eq!(r, Some(msg.clone()));
+            }
+        }
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn framing_handles_back_to_back_frames() {
+        let m1 = Message::Get {
+            id: 1,
+            key: Key::from("a"),
+        };
+        let m2 = Message::Remove {
+            id: 2,
+            key: Key::from("b"),
+        };
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&encode_frame(&m1));
+        buf.extend_from_slice(&encode_frame(&m2));
+        assert_eq!(decode_frame(&mut buf).unwrap(), Some(m1));
+        assert_eq!(decode_frame(&mut buf).unwrap(), Some(m2));
+        assert_eq!(decode_frame(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        assert_eq!(decode(&[]), Err(CodecError::Truncated));
+        assert_eq!(decode(&[0xfe]), Err(CodecError::BadTag(0xfe)));
+        // Truncated key length.
+        assert_eq!(
+            decode(&[TAG_GET, 1, 0, 0, 0, 0, 0, 0, 0, 9]),
+            Err(CodecError::Truncated)
+        );
+        // Oversized declared length.
+        let mut body = vec![TAG_GET];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(decode(&body), Err(CodecError::Oversized(_))));
+        // Oversized frame header.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(u32::MAX);
+        assert!(matches!(
+            decode_frame(&mut buf),
+            Err(CodecError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn binary_safe_keys_and_values() {
+        roundtrip(Message::Put {
+            id: 1,
+            key: Key::from(vec![0u8, 0xff, b'|', 0x7f]),
+            value: Bytes::from(vec![0u8; 300]),
+        });
+    }
+}

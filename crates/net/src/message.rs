@@ -1,0 +1,142 @@
+//! The Pequod RPC vocabulary.
+//!
+//! Clients speak `Get`/`Put`/`Remove`/`Scan`/`AddJoin` and receive
+//! `Reply`. Servers speak `Subscribe`/`SubscribeReply`/`Notify` among
+//! themselves to replicate base data (§2.4): reading a remote key range
+//! installs a subscription at its home server, and the home server
+//! forwards subsequent updates.
+
+use pequod_store::{Key, KeyRange, UpperBound, Value};
+
+/// A wire message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// Point read.
+    Get {
+        /// Request id, echoed in the reply.
+        id: u64,
+        /// Key to read.
+        key: Key,
+    },
+    /// Insert or update.
+    Put {
+        /// Request id.
+        id: u64,
+        /// Key to write.
+        key: Key,
+        /// New value.
+        value: Value,
+    },
+    /// Delete.
+    Remove {
+        /// Request id.
+        id: u64,
+        /// Key to delete.
+        key: Key,
+    },
+    /// Ordered range read.
+    Scan {
+        /// Request id.
+        id: u64,
+        /// Range to scan.
+        range: KeyRange,
+    },
+    /// Install a cache join from its textual form.
+    AddJoin {
+        /// Request id.
+        id: u64,
+        /// Join text (Figure 2 grammar).
+        text: String,
+    },
+    /// Response to any client request.
+    Reply {
+        /// The request this answers.
+        id: u64,
+        /// Result pairs (empty for writes).
+        pairs: Vec<(Key, Value)>,
+        /// Error message, if the request failed.
+        error: Option<String>,
+    },
+    /// Server→server: fetch a base range and subscribe to its updates.
+    Subscribe {
+        /// Request id.
+        id: u64,
+        /// The base range wanted.
+        range: KeyRange,
+    },
+    /// Server→server: subscription data.
+    SubscribeReply {
+        /// The `Subscribe` this answers.
+        id: u64,
+        /// The subscribed range.
+        range: KeyRange,
+        /// Its current contents.
+        pairs: Vec<(Key, Value)>,
+    },
+    /// Server→server: an update to a subscribed range.
+    Notify {
+        /// The modified key.
+        key: Key,
+        /// New value, or `None` for a removal.
+        value: Option<Value>,
+    },
+    /// Server→server: drop subscriptions overlapping a range.
+    Unsubscribe {
+        /// The range to drop.
+        range: KeyRange,
+    },
+}
+
+impl Message {
+    /// The request id, if this message carries one.
+    pub fn id(&self) -> Option<u64> {
+        match self {
+            Message::Get { id, .. }
+            | Message::Put { id, .. }
+            | Message::Remove { id, .. }
+            | Message::Scan { id, .. }
+            | Message::AddJoin { id, .. }
+            | Message::Reply { id, .. }
+            | Message::Subscribe { id, .. }
+            | Message::SubscribeReply { id, .. } => Some(*id),
+            Message::Notify { .. } | Message::Unsubscribe { .. } => None,
+        }
+    }
+
+    /// A successful reply.
+    pub fn reply(id: u64, pairs: Vec<(Key, Value)>) -> Message {
+        Message::Reply {
+            id,
+            pairs,
+            error: None,
+        }
+    }
+
+    /// An error reply.
+    pub fn error(id: u64, error: impl Into<String>) -> Message {
+        Message::Reply {
+            id,
+            pairs: Vec::new(),
+            error: Some(error.into()),
+        }
+    }
+}
+
+/// Helper: encode a range end for the wire (None = unbounded).
+pub(crate) fn range_end_key(range: &KeyRange) -> Option<&Key> {
+    match &range.end {
+        UpperBound::Excluded(k) => Some(k),
+        UpperBound::Unbounded => None,
+    }
+}
+
+/// Helper: rebuild a range from wire parts.
+pub(crate) fn range_from_parts(first: Key, end: Option<Key>) -> KeyRange {
+    KeyRange {
+        first,
+        end: match end {
+            Some(k) => UpperBound::Excluded(k),
+            None => UpperBound::Unbounded,
+        },
+    }
+}

@@ -1,0 +1,317 @@
+//! A deterministic in-process cluster simulator.
+//!
+//! Servers exchange [`Message`]s through a virtual network with
+//! configurable per-hop latency and (optionally) extra jitter on
+//! `Notify` delivery — modelling the asynchronous update propagation
+//! that makes Pequod eventually consistent (§2.4). Delivery order is a
+//! deterministic function of the seed, so distributed experiments and
+//! tests reproduce exactly.
+//!
+//! The simulator also accounts wire bytes per message class using the
+//! real codec, which the scalability experiment (Figure 10) reports as
+//! "subscription maintenance" versus "client communication" bandwidth.
+
+use crate::codec::encode_frame;
+use crate::message::Message;
+use crate::partition::ServerId;
+use crate::server::{Endpoint, ServerNode};
+use pequod_store::{Key, KeyRange, Value};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulator parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Per-hop latency in ticks.
+    pub latency: u64,
+    /// RNG seed (delivery jitter).
+    pub seed: u64,
+    /// Probability that a `Notify` is delayed by `notify_jitter` extra
+    /// ticks (asynchronous propagation; updates are never lost).
+    pub notify_jitter_chance: f64,
+    /// Extra delay applied to jittered notifies.
+    pub notify_jitter: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            latency: 1,
+            seed: 0x5eed,
+            notify_jitter_chance: 0.0,
+            notify_jitter: 10,
+        }
+    }
+}
+
+/// Wire-byte counters by message class.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TrafficStats {
+    /// Bytes of client requests and replies.
+    pub client_bytes: u64,
+    /// Bytes of server-to-server subscription traffic
+    /// (Subscribe/SubscribeReply/Notify/Unsubscribe).
+    pub subscription_bytes: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+}
+
+#[derive(PartialEq, Eq)]
+struct Envelope {
+    at: u64,
+    seq: u64,
+    from: Endpoint,
+    to: Endpoint,
+}
+
+impl Ord for Envelope {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Envelope {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulated cluster: servers plus a virtual network.
+pub struct SimCluster {
+    nodes: Vec<ServerNode>,
+    queue: BinaryHeap<Reverse<Envelope>>,
+    payloads: std::collections::HashMap<u64, Message>,
+    replies: Vec<(u32, Message)>,
+    now: u64,
+    seq: u64,
+    rng: u64,
+    busy: Vec<std::time::Duration>,
+    /// Simulator parameters.
+    pub config: SimConfig,
+    /// Wire accounting.
+    pub traffic: TrafficStats,
+}
+
+impl SimCluster {
+    /// Builds a cluster from server nodes (node `i` must have
+    /// `ServerId(i)`).
+    pub fn new(config: SimConfig, nodes: Vec<ServerNode>) -> SimCluster {
+        for (i, n) in nodes.iter().enumerate() {
+            assert_eq!(n.id, ServerId(i as u32), "node ids must be dense");
+        }
+        let busy = vec![std::time::Duration::ZERO; nodes.len()];
+        SimCluster {
+            nodes,
+            queue: BinaryHeap::new(),
+            payloads: std::collections::HashMap::new(),
+            replies: Vec::new(),
+            now: 0,
+            seq: 0,
+            rng: config.seed | 1,
+            busy,
+            config,
+            traffic: TrafficStats::default(),
+        }
+    }
+
+    /// Wall-clock CPU time a server has spent processing messages. The
+    /// scalability experiment (Figure 10) divides total query count by
+    /// the busiest compute server's CPU time: since all simulated
+    /// servers share one real core, per-server busy time is the honest
+    /// stand-in for the per-server CPU bottleneck the paper measures.
+    pub fn busy_time(&self, id: ServerId) -> std::time::Duration {
+        self.busy[id.0 as usize]
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the cluster has no servers.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// A server by id.
+    pub fn node(&self, id: ServerId) -> &ServerNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Mutable access to a server.
+    pub fn node_mut(&mut self, id: ServerId) -> &mut ServerNode {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        ((self.next_rand() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    fn send(&mut self, from: Endpoint, to: Endpoint, msg: Message) {
+        let bytes = encode_frame(&msg).len() as u64;
+        let is_sub = matches!(
+            msg,
+            Message::Subscribe { .. }
+                | Message::SubscribeReply { .. }
+                | Message::Notify { .. }
+                | Message::Unsubscribe { .. }
+        );
+        if is_sub {
+            self.traffic.subscription_bytes += bytes;
+        } else {
+            self.traffic.client_bytes += bytes;
+        }
+        let mut delay = self.config.latency;
+        if matches!(msg, Message::Notify { .. }) && self.chance(self.config.notify_jitter_chance)
+        {
+            delay += self.config.notify_jitter;
+        }
+        self.seq += 1;
+        self.payloads.insert(self.seq, msg);
+        self.queue.push(Reverse(Envelope {
+            at: self.now + delay,
+            seq: self.seq,
+            from,
+            to,
+        }));
+    }
+
+    /// Injects a client request addressed to a server.
+    pub fn request(&mut self, client: u32, server: ServerId, msg: Message) {
+        self.send(Endpoint::Client(client), Endpoint::Server(server), msg);
+    }
+
+    /// Delivers the next message; returns false when the network is
+    /// quiet.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(env)) = self.queue.pop() else {
+            return false;
+        };
+        self.now = self.now.max(env.at);
+        let msg = self.payloads.remove(&env.seq).expect("payload exists");
+        self.traffic.delivered += 1;
+        match env.to {
+            Endpoint::Client(c) => self.replies.push((c, msg)),
+            Endpoint::Server(sid) => {
+                let node = &mut self.nodes[sid.0 as usize];
+                // Keep the engine's logical clock in sync with simulated
+                // time (drives snapshot expiry).
+                let behind = self.now.saturating_sub(node.engine.clock());
+                node.engine.tick(behind);
+                let start = std::time::Instant::now();
+                let out = node.handle(env.from, msg);
+                self.busy[sid.0 as usize] += start.elapsed();
+                for (to, m) in out {
+                    self.send(Endpoint::Server(sid), to, m);
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until no messages remain in flight.
+    pub fn run_until_quiet(&mut self) {
+        while self.step() {}
+    }
+
+    /// Takes accumulated client replies.
+    pub fn take_replies(&mut self) -> Vec<(u32, Message)> {
+        std::mem::take(&mut self.replies)
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronous convenience API (runs the network to quiescence)
+    // ------------------------------------------------------------------
+
+    /// Synchronous scan against one server.
+    pub fn scan(&mut self, server: ServerId, range: KeyRange) -> Vec<(Key, Value)> {
+        self.request(0, server, Message::Scan { id: u64::MAX, range });
+        self.run_until_quiet();
+        self.expect_reply(u64::MAX)
+    }
+
+    /// Synchronous put against one server (typically the key's home).
+    pub fn put(&mut self, server: ServerId, key: impl Into<Key>, value: impl Into<Value>) {
+        self.request(
+            0,
+            server,
+            Message::Put {
+                id: u64::MAX,
+                key: key.into(),
+                value: value.into(),
+            },
+        );
+        self.run_until_quiet();
+        self.expect_reply(u64::MAX);
+    }
+
+    /// Synchronous remove against one server.
+    pub fn remove(&mut self, server: ServerId, key: impl Into<Key>) {
+        self.request(
+            0,
+            server,
+            Message::Remove {
+                id: u64::MAX,
+                key: key.into(),
+            },
+        );
+        self.run_until_quiet();
+        self.expect_reply(u64::MAX);
+    }
+
+    /// Installs joins on every server.
+    pub fn add_joins_everywhere(&mut self, text: &str) {
+        for i in 0..self.nodes.len() {
+            self.request(
+                0,
+                ServerId(i as u32),
+                Message::AddJoin {
+                    id: u64::MAX,
+                    text: text.to_string(),
+                },
+            );
+            self.run_until_quiet();
+            self.expect_reply(u64::MAX);
+        }
+    }
+
+    fn expect_reply(&mut self, id: u64) -> Vec<(Key, Value)> {
+        let mut found = None;
+        self.replies.retain(|(_, m)| {
+            if let Message::Reply {
+                id: rid,
+                pairs,
+                error,
+            } = m
+            {
+                if *rid == id {
+                    if let Some(e) = error {
+                        panic!("request failed: {e}");
+                    }
+                    found = Some(pairs.clone());
+                    return false;
+                }
+            }
+            true
+        });
+        found.expect("reply for synchronous request")
+    }
+}

@@ -1,0 +1,286 @@
+//! A blocking TCP transport for a single Pequod server.
+//!
+//! Thread-per-connection over `std::net` with the length-prefixed frame
+//! codec (the framing discipline of the Tokio guide, without the async
+//! runtime — the engine itself is single-threaded and lives behind one
+//! mutex, matching the paper's one-process-per-core deployment where
+//! each process owns a partition of the store).
+
+use crate::codec::{decode_frame, encode_frame, CodecError};
+use crate::message::Message;
+use bytes::BytesMut;
+use parking_lot::Mutex;
+use pequod_core::Engine;
+use pequod_store::{Key, KeyRange, Value};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running TCP server.
+pub struct TcpServer {
+    addr: SocketAddr,
+    engine: Arc<Mutex<Engine>>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Starts serving `engine` on `addr` (use port 0 for an ephemeral
+    /// port). The engine must serve local data only; queries that report
+    /// missing base data return an error to the client.
+    pub fn spawn(addr: impl ToSocketAddrs, engine: Engine) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let engine = Arc::new(Mutex::new(engine));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_engine = engine.clone();
+        let accept_stop = stop.clone();
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let engine = accept_engine.clone();
+                std::thread::spawn(move || {
+                    let _ = serve_connection(stream, engine);
+                });
+            }
+        });
+        Ok(TcpServer {
+            addr,
+            engine,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared access to the engine (e.g. to inspect stats).
+    pub fn engine(&self) -> Arc<Mutex<Engine>> {
+        self.engine.clone()
+    }
+
+    /// Stops accepting connections.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Poke the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, engine: Arc<Mutex<Engine>>) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut buf = BytesMut::with_capacity(8 * 1024);
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        // Drain complete frames.
+        loop {
+            match decode_frame(&mut buf) {
+                Ok(Some(msg)) => {
+                    let reply = handle_client_message(&engine, msg);
+                    if let Some(reply) = reply {
+                        stream.write_all(&encode_frame(&reply))?;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+                }
+            }
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(()); // peer closed
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn handle_client_message(engine: &Mutex<Engine>, msg: Message) -> Option<Message> {
+    let reply = match msg {
+        Message::Get { id, key } => {
+            let res = engine.lock().get(&key);
+            if res.is_complete() {
+                Message::reply(id, res.pairs)
+            } else {
+                Message::error(id, "missing base data (no backing store attached)")
+            }
+        }
+        Message::Scan { id, range } => {
+            let res = engine.lock().scan(&range);
+            if res.is_complete() {
+                Message::reply(id, res.pairs)
+            } else {
+                Message::error(id, "missing base data (no backing store attached)")
+            }
+        }
+        Message::Put { id, key, value } => {
+            engine.lock().put(key, value);
+            Message::reply(id, vec![])
+        }
+        Message::Remove { id, key } => {
+            engine.lock().remove(&key);
+            Message::reply(id, vec![])
+        }
+        Message::AddJoin { id, text } => match engine.lock().add_joins_text(&text) {
+            Ok(_) => Message::reply(id, vec![]),
+            Err(e) => Message::error(id, e.to_string()),
+        },
+        // Server-to-server traffic is not accepted on the client port.
+        other => Message::error(other.id().unwrap_or(0), "unsupported on client connection"),
+    };
+    Some(reply)
+}
+
+/// Client-side errors.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket failure.
+    Io(std::io::Error),
+    /// Undecodable reply.
+    Codec(CodecError),
+    /// The server reported an error.
+    Remote(String),
+    /// The connection closed mid-request.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Codec(e) => write!(f, "codec: {e}"),
+            ClientError::Remote(e) => write!(f, "server: {e}"),
+            ClientError::Disconnected => write!(f, "disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking Pequod client connection.
+pub struct TcpClient {
+    stream: TcpStream,
+    buf: BytesMut,
+    next_id: u64,
+}
+
+impl TcpClient {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpClient {
+            stream,
+            buf: BytesMut::with_capacity(8 * 1024),
+            next_id: 1,
+        })
+    }
+
+    fn call(&mut self, msg: Message) -> Result<Vec<(Key, Value)>, ClientError> {
+        let id = msg.id().expect("requests carry ids");
+        self.stream.write_all(&encode_frame(&msg))?;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match decode_frame(&mut self.buf).map_err(ClientError::Codec)? {
+                Some(Message::Reply {
+                    id: rid,
+                    pairs,
+                    error,
+                }) if rid == id => {
+                    return match error {
+                        Some(e) => Err(ClientError::Remote(e)),
+                        None => Ok(pairs),
+                    };
+                }
+                Some(_) => continue, // unrelated frame (stale reply)
+                None => {
+                    let n = self.stream.read(&mut chunk)?;
+                    if n == 0 {
+                        return Err(ClientError::Disconnected);
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+            }
+        }
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Point read.
+    pub fn get(&mut self, key: impl Into<Key>) -> Result<Option<Value>, ClientError> {
+        let id = self.fresh_id();
+        let pairs = self.call(Message::Get {
+            id,
+            key: key.into(),
+        })?;
+        Ok(pairs.into_iter().next().map(|(_, v)| v))
+    }
+
+    /// Write.
+    pub fn put(
+        &mut self,
+        key: impl Into<Key>,
+        value: impl Into<Value>,
+    ) -> Result<(), ClientError> {
+        let id = self.fresh_id();
+        self.call(Message::Put {
+            id,
+            key: key.into(),
+            value: value.into(),
+        })?;
+        Ok(())
+    }
+
+    /// Delete.
+    pub fn remove(&mut self, key: impl Into<Key>) -> Result<(), ClientError> {
+        let id = self.fresh_id();
+        self.call(Message::Remove {
+            id,
+            key: key.into(),
+        })?;
+        Ok(())
+    }
+
+    /// Ordered range read.
+    pub fn scan(&mut self, range: KeyRange) -> Result<Vec<(Key, Value)>, ClientError> {
+        let id = self.fresh_id();
+        self.call(Message::Scan { id, range })
+    }
+
+    /// Install cache joins.
+    pub fn add_join(&mut self, text: impl Into<String>) -> Result<(), ClientError> {
+        let id = self.fresh_id();
+        self.call(Message::AddJoin {
+            id,
+            text: text.into(),
+        })?;
+        Ok(())
+    }
+}

@@ -1,0 +1,499 @@
+//! An interval tree over [`KeyRange`]s.
+//!
+//! Pequod stores updaters in an interval tree so that every store
+//! modification can find, in `O(log n + k)` time, the updaters whose
+//! source ranges contain the modified key (§3.2). This implementation is
+//! a treap (randomized BST) keyed by `(range.first, id)` and augmented
+//! with the maximum range end in each subtree. Priorities are derived
+//! deterministically from interval ids (splitmix64), so tree shape — and
+//! therefore benchmark behaviour — is reproducible.
+
+use crate::key::Key;
+use crate::range::{KeyRange, UpperBound};
+use std::collections::HashMap;
+
+/// Stable identifier for an interval stored in the tree.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct IntervalId(pub u64);
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+struct Node<V> {
+    id: IntervalId,
+    priority: u64,
+    range: KeyRange,
+    max_end: UpperBound,
+    value: V,
+    left: Link<V>,
+    right: Link<V>,
+}
+
+type Link<V> = Option<Box<Node<V>>>;
+
+impl<V> Node<V> {
+    fn new(id: IntervalId, range: KeyRange, value: V) -> Box<Node<V>> {
+        Box::new(Node {
+            id,
+            priority: splitmix64(id.0),
+            max_end: range.end.clone(),
+            range,
+            value,
+            left: None,
+            right: None,
+        })
+    }
+
+    /// BST ordering key: `(range.first, id)`.
+    fn cmp_key(&self) -> (&Key, IntervalId) {
+        (&self.range.first, self.id)
+    }
+
+    fn update_max_end(&mut self) {
+        let mut m = self.range.end.clone();
+        if let Some(l) = &self.left {
+            m = m.max(l.max_end.clone());
+        }
+        if let Some(r) = &self.right {
+            m = m.max(r.max_end.clone());
+        }
+        self.max_end = m;
+    }
+}
+
+/// Interval tree mapping [`KeyRange`]s to values, with stabbing and
+/// overlap queries.
+pub struct IntervalTree<V> {
+    root: Link<V>,
+    len: usize,
+    next_id: u64,
+    // id -> start key, so removal by id can navigate the BST.
+    starts: HashMap<IntervalId, Key>,
+}
+
+impl<V> Default for IntervalTree<V> {
+    fn default() -> Self {
+        IntervalTree::new()
+    }
+}
+
+impl<V> IntervalTree<V> {
+    /// Creates an empty tree.
+    pub fn new() -> IntervalTree<V> {
+        IntervalTree {
+            root: None,
+            len: 0,
+            next_id: 0,
+            starts: HashMap::new(),
+        }
+    }
+
+    /// Number of stored intervals.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the tree stores no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every interval.
+    pub fn clear(&mut self) {
+        self.root = None;
+        self.len = 0;
+        self.starts.clear();
+    }
+
+    /// Inserts an interval; empty ranges are accepted but never match
+    /// queries. Returns the new interval's id.
+    pub fn insert(&mut self, range: KeyRange, value: V) -> IntervalId {
+        let id = IntervalId(self.next_id);
+        self.next_id += 1;
+        self.starts.insert(id, range.first.clone());
+        let node = Node::new(id, range, value);
+        self.root = Self::insert_node(self.root.take(), node);
+        self.len += 1;
+        id
+    }
+
+    fn insert_node(link: Link<V>, node: Box<Node<V>>) -> Link<V> {
+        match link {
+            None => Some(node),
+            Some(mut cur) => {
+                if node.priority > cur.priority {
+                    // node becomes the new subtree root: split cur by node's key
+                    let (l, r) = Self::split(Some(cur), &node.range.first, node.id);
+                    let mut node = node;
+                    node.left = l;
+                    node.right = r;
+                    node.update_max_end();
+                    Some(node)
+                } else {
+                    if (&node.range.first, node.id) < cur.cmp_key() {
+                        cur.left = Self::insert_node(cur.left.take(), node);
+                    } else {
+                        cur.right = Self::insert_node(cur.right.take(), node);
+                    }
+                    cur.update_max_end();
+                    Some(cur)
+                }
+            }
+        }
+    }
+
+    /// Splits the subtree into nodes `< (key, id)` and nodes `>= (key, id)`.
+    fn split(link: Link<V>, key: &Key, id: IntervalId) -> (Link<V>, Link<V>) {
+        match link {
+            None => (None, None),
+            Some(mut cur) => {
+                if cur.cmp_key() < (key, id) {
+                    let (l, r) = Self::split(cur.right.take(), key, id);
+                    cur.right = l;
+                    cur.update_max_end();
+                    (Some(cur), r)
+                } else {
+                    let (l, r) = Self::split(cur.left.take(), key, id);
+                    cur.left = r;
+                    cur.update_max_end();
+                    (l, Some(cur))
+                }
+            }
+        }
+    }
+
+    /// Removes the interval with the given id, returning its range and value.
+    pub fn remove(&mut self, id: IntervalId) -> Option<(KeyRange, V)> {
+        let start = self.starts.remove(&id)?;
+        let (root, removed) = Self::remove_node(self.root.take(), &start, id);
+        self.root = root;
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed.map(|n| (n.range, n.value))
+    }
+
+    fn remove_node(link: Link<V>, key: &Key, id: IntervalId) -> (Link<V>, Option<Box<Node<V>>>) {
+        match link {
+            None => (None, None),
+            Some(mut cur) => {
+                if cur.id == id && &cur.range.first == key {
+                    let merged = Self::merge(cur.left.take(), cur.right.take());
+                    (merged, Some(cur))
+                } else if (key, id) < cur.cmp_key() {
+                    let (l, removed) = Self::remove_node(cur.left.take(), key, id);
+                    cur.left = l;
+                    cur.update_max_end();
+                    (Some(cur), removed)
+                } else {
+                    let (r, removed) = Self::remove_node(cur.right.take(), key, id);
+                    cur.right = r;
+                    cur.update_max_end();
+                    (Some(cur), removed)
+                }
+            }
+        }
+    }
+
+    fn merge(a: Link<V>, b: Link<V>) -> Link<V> {
+        match (a, b) {
+            (None, b) => b,
+            (a, None) => a,
+            (Some(mut a), Some(mut b)) => {
+                if a.priority > b.priority {
+                    a.right = Self::merge(a.right.take(), Some(b));
+                    a.update_max_end();
+                    Some(a)
+                } else {
+                    b.left = Self::merge(Some(a), b.left.take());
+                    b.update_max_end();
+                    Some(b)
+                }
+            }
+        }
+    }
+
+    /// Returns a mutable reference to the value stored under `id`.
+    pub fn get_mut(&mut self, id: IntervalId) -> Option<&mut V> {
+        let start = self.starts.get(&id)?.clone();
+        let mut cur = self.root.as_deref_mut();
+        while let Some(node) = cur {
+            if node.id == id && node.range.first == start {
+                return Some(&mut node.value);
+            }
+            cur = if (&start, id) < (&node.range.first, node.id) {
+                node.left.as_deref_mut()
+            } else {
+                node.right.as_deref_mut()
+            };
+        }
+        None
+    }
+
+    /// Returns the range stored under `id`.
+    pub fn range_of(&self, id: IntervalId) -> Option<&KeyRange> {
+        let start = self.starts.get(&id)?;
+        let mut cur = self.root.as_deref();
+        while let Some(node) = cur {
+            if node.id == id && &node.range.first == start {
+                return Some(&node.range);
+            }
+            cur = if (start, id) < (&node.range.first, node.id) {
+                node.left.as_deref()
+            } else {
+                node.right.as_deref()
+            };
+        }
+        None
+    }
+
+    /// Visits every interval containing `key`.
+    pub fn stab<'a>(&'a self, key: &Key, mut f: impl FnMut(IntervalId, &'a KeyRange, &'a V)) {
+        Self::stab_node(self.root.as_deref(), key, &mut f);
+    }
+
+    fn stab_node<'a>(
+        link: Option<&'a Node<V>>,
+        key: &Key,
+        f: &mut impl FnMut(IntervalId, &'a KeyRange, &'a V),
+    ) {
+        let Some(node) = link else { return };
+        // No interval in this subtree extends past `key`.
+        if !node.max_end.admits(key) {
+            return;
+        }
+        Self::stab_node(node.left.as_deref(), key, f);
+        if node.range.contains(key) {
+            f(node.id, &node.range, &node.value);
+        }
+        // Intervals in the right subtree start at or after this node's start;
+        // if even this node starts after `key`, none of them can contain it.
+        if node.range.first <= *key {
+            Self::stab_node(node.right.as_deref(), key, f);
+        }
+    }
+
+    /// Collects the ids of every interval containing `key`.
+    pub fn stab_ids(&self, key: &Key) -> Vec<IntervalId> {
+        let mut out = Vec::new();
+        self.stab(key, |id, _, _| out.push(id));
+        out
+    }
+
+    /// Visits every interval overlapping `range`.
+    pub fn overlapping<'a>(
+        &'a self,
+        range: &KeyRange,
+        mut f: impl FnMut(IntervalId, &'a KeyRange, &'a V),
+    ) {
+        if range.is_empty() {
+            return;
+        }
+        Self::overlap_node(self.root.as_deref(), range, &mut f);
+    }
+
+    fn overlap_node<'a>(
+        link: Option<&'a Node<V>>,
+        range: &KeyRange,
+        f: &mut impl FnMut(IntervalId, &'a KeyRange, &'a V),
+    ) {
+        let Some(node) = link else { return };
+        if !node.max_end.admits(&range.first) {
+            return;
+        }
+        Self::overlap_node(node.left.as_deref(), range, f);
+        if node.range.overlaps(range) {
+            f(node.id, &node.range, &node.value);
+        }
+        if range.end.admits(&node.range.first) {
+            Self::overlap_node(node.right.as_deref(), range, f);
+        }
+    }
+
+    /// Collects the ids of every interval overlapping `range`.
+    pub fn overlapping_ids(&self, range: &KeyRange) -> Vec<IntervalId> {
+        let mut out = Vec::new();
+        self.overlapping(range, |id, _, _| out.push(id));
+        out
+    }
+
+    /// Visits all intervals in `(start, id)` order.
+    pub fn for_each<'a>(&'a self, mut f: impl FnMut(IntervalId, &'a KeyRange, &'a V)) {
+        Self::visit_in_order(self.root.as_deref(), &mut f);
+    }
+
+    fn visit_in_order<'a>(
+        link: Option<&'a Node<V>>,
+        f: &mut impl FnMut(IntervalId, &'a KeyRange, &'a V),
+    ) {
+        let Some(node) = link else { return };
+        Self::visit_in_order(node.left.as_deref(), f);
+        f(node.id, &node.range, &node.value);
+        Self::visit_in_order(node.right.as_deref(), f);
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        fn check<V>(link: Option<&Node<V>>) -> Option<UpperBound> {
+            let node = link?;
+            let mut expect = node.range.end.clone();
+            if let Some(l) = node.left.as_deref() {
+                assert!(l.priority <= node.priority, "heap violated");
+                assert!((&l.range.first, l.id) < (&node.range.first, node.id), "bst violated");
+                expect = expect.max(check(Some(l)).unwrap());
+            }
+            if let Some(r) = node.right.as_deref() {
+                assert!(r.priority <= node.priority, "heap violated");
+                assert!((&r.range.first, r.id) > (&node.range.first, node.id), "bst violated");
+                expect = expect.max(check(Some(r)).unwrap());
+            }
+            assert!(node.max_end == expect, "max_end stale");
+            Some(node.max_end.clone())
+        }
+        check(self.root.as_deref());
+    }
+}
+
+impl<V: std::fmt::Debug> std::fmt::Debug for IntervalTree<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut list = f.debug_list();
+        self.for_each(|id, range, value| {
+            list.entry(&(id, range, value));
+        });
+        list.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: &str, b: &str) -> KeyRange {
+        KeyRange::new(a, b)
+    }
+
+    #[test]
+    fn stab_finds_containing_intervals() {
+        let mut t = IntervalTree::new();
+        let a = t.insert(r("b", "f"), "a");
+        let b = t.insert(r("d", "k"), "b");
+        let _c = t.insert(r("m", "p"), "c");
+        t.check_invariants();
+        let mut hits = t.stab_ids(&Key::from("e"));
+        hits.sort();
+        assert_eq!(hits, vec![a, b]);
+        assert_eq!(t.stab_ids(&Key::from("z")), vec![]);
+        assert_eq!(t.stab_ids(&Key::from("b")), vec![a]); // inclusive start
+        assert_eq!(t.stab_ids(&Key::from("f")), vec![b]); // exclusive end
+    }
+
+    #[test]
+    fn overlap_query() {
+        let mut t = IntervalTree::new();
+        let a = t.insert(r("b", "f"), ());
+        let _b = t.insert(r("g", "k"), ());
+        let c = t.insert(r("a", "z"), ());
+        let mut hits = t.overlapping_ids(&r("e", "g"));
+        hits.sort();
+        assert_eq!(hits, vec![a, c]);
+        assert!(t.overlapping_ids(&r("x", "x")).is_empty());
+    }
+
+    #[test]
+    fn remove_by_id() {
+        let mut t = IntervalTree::new();
+        let a = t.insert(r("b", "f"), 1);
+        let b = t.insert(r("b", "f"), 2); // duplicate range, distinct id
+        t.check_invariants();
+        let (range, v) = t.remove(a).unwrap();
+        assert_eq!(range, r("b", "f"));
+        assert_eq!(v, 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.stab_ids(&Key::from("c")), vec![b]);
+        assert!(t.remove(a).is_none());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn get_mut_and_range_of() {
+        let mut t = IntervalTree::new();
+        let a = t.insert(r("b", "f"), 10);
+        *t.get_mut(a).unwrap() += 5;
+        let mut seen = vec![];
+        t.stab(&Key::from("c"), |_, _, v| seen.push(*v));
+        assert_eq!(seen, vec![15]);
+        assert_eq!(t.range_of(a), Some(&r("b", "f")));
+        assert_eq!(t.range_of(IntervalId(999)), None);
+    }
+
+    #[test]
+    fn unbounded_intervals() {
+        let mut t = IntervalTree::new();
+        let a = t.insert(KeyRange::with_bound("m", UpperBound::Unbounded), ());
+        assert_eq!(t.stab_ids(&Key::from(vec![0xffu8; 4])), vec![a]);
+        assert_eq!(t.stab_ids(&Key::from("a")), vec![]);
+    }
+
+    #[test]
+    fn empty_intervals_never_match() {
+        let mut t = IntervalTree::new();
+        t.insert(r("m", "m"), ());
+        assert!(t.stab_ids(&Key::from("m")).is_empty());
+        assert!(t.overlapping_ids(&KeyRange::all()).is_empty());
+    }
+
+    #[test]
+    fn many_intervals_match_naive() {
+        // Deterministic pseudo-random intervals, compared against brute force.
+        let mut t = IntervalTree::new();
+        let mut naive: Vec<(IntervalId, KeyRange)> = Vec::new();
+        let mut state = 0x12345678u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..300 {
+            let a = (next() % 26) as u8 + b'a';
+            let b = (next() % 26) as u8 + b'a';
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let range = KeyRange::new(vec![lo], vec![hi + 1]);
+            let id = t.insert(range.clone(), ());
+            naive.push((id, range));
+        }
+        t.check_invariants();
+        // remove a third of them
+        for i in (0..naive.len()).rev().step_by(3) {
+            let (id, _) = naive.remove(i);
+            t.remove(id).unwrap();
+        }
+        t.check_invariants();
+        for probe in b'a'..=b'z' {
+            let key = Key::from(vec![probe]);
+            let mut expect: Vec<IntervalId> = naive
+                .iter()
+                .filter(|(_, r)| r.contains(&key))
+                .map(|(id, _)| *id)
+                .collect();
+            expect.sort();
+            let mut got = t.stab_ids(&key);
+            got.sort();
+            assert_eq!(got, expect, "stab mismatch at {key:?}");
+        }
+        for lo in (b'a'..=b'z').step_by(3) {
+            let range = KeyRange::new(vec![lo], vec![lo + 2]);
+            let mut expect: Vec<IntervalId> = naive
+                .iter()
+                .filter(|(_, r)| r.overlaps(&range))
+                .map(|(id, _)| *id)
+                .collect();
+            expect.sort();
+            let mut got = t.overlapping_ids(&range);
+            got.sort();
+            assert_eq!(got, expect, "overlap mismatch at {range:?}");
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! `pequod-store` — the ordered key-value substrate for Pequod.
+//!
+//! Pequod (NSDI '14) is built on a single-process ordered store with
+//! string keys and values. This crate provides:
+//!
+//! * [`Key`] — refcounted byte-string keys with the ordering helpers the
+//!   cache-join machinery depends on (`successor`, `prefix_end`).
+//! * [`KeyRange`] / [`UpperBound`] — half-open key ranges; every scan,
+//!   join status range, updater and subscription is one of these.
+//! * [`Store`] / [`Table`] — the layered tree structure of §4.1: a table
+//!   layer split on the first key component, with optional hash-indexed
+//!   subtables at developer-marked component boundaries.
+//! * [`IntervalTree`] — the augmented search tree holding updaters,
+//!   supporting stabbing queries on store writes (§3.2).
+//! * [`LruTracker`] — least-recently-used ordering for evictable ranges
+//!   (§2.5).
+//!
+//! The store is deliberately single-threaded and event-driven, like the
+//! paper's C++ server: one `Store` belongs to one engine; cross-server
+//! concurrency lives in `pequod-net`.
+
+#![warn(missing_docs)]
+
+mod interval_tree;
+mod key;
+mod lru;
+mod range;
+mod range_set;
+mod store;
+mod table;
+
+pub use interval_tree::{IntervalId, IntervalTree};
+pub use key::{Key, SEP};
+pub use lru::LruTracker;
+pub use range::{KeyRange, UpperBound};
+pub use range_set::RangeSet;
+pub use store::{Store, StoreConfig, StoreStats};
+pub use table::{Table, TableStats, Value};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use bytes::Bytes;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn key_strat() -> impl Strategy<Value = Key> {
+        // Small alphabet concentrates collisions and boundary cases.
+        proptest::collection::vec(
+            prop_oneof![Just(b'a'), Just(b'b'), Just(b'|'), Just(0xffu8), Just(b'z')],
+            0..6,
+        )
+        .prop_map(Key::from)
+    }
+
+    fn range_strat() -> impl Strategy<Value = KeyRange> {
+        (key_strat(), proptest::option::of(key_strat())).prop_map(|(first, end)| match end {
+            Some(e) => KeyRange::new(first, e),
+            None => KeyRange::with_bound(first, UpperBound::Unbounded),
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn successor_is_least_greater(k in key_strat()) {
+            let s = k.successor();
+            prop_assert!(s > k);
+            prop_assert!(s.as_bytes().starts_with(k.as_bytes()));
+        }
+
+        #[test]
+        fn prefix_end_is_correct_bound(k in key_strat(), probe in key_strat()) {
+            match k.prefix_end() {
+                Some(end) => {
+                    if probe.starts_with(k.as_bytes()) {
+                        prop_assert!(probe < end, "{:?} should be < {:?}", probe, end);
+                    }
+                    if probe >= end {
+                        prop_assert!(!probe.starts_with(k.as_bytes()));
+                    }
+                }
+                None => {
+                    // Only the empty key or all-0xff keys lack a bound.
+                    prop_assert!(k.as_bytes().iter().all(|&b| b == 0xff));
+                }
+            }
+        }
+
+        #[test]
+        fn intersect_agrees_with_contains(a in range_strat(), b in range_strat(), probe in key_strat()) {
+            let i = a.intersect(&b);
+            prop_assert_eq!(i.contains(&probe), a.contains(&probe) && b.contains(&probe));
+        }
+
+        #[test]
+        fn subtract_partitions(a in range_strat(), b in range_strat(), probe in key_strat()) {
+            let pieces = a.subtract(&b);
+            let in_pieces = pieces.iter().any(|p| p.contains(&probe));
+            prop_assert_eq!(in_pieces, a.contains(&probe) && !b.contains(&probe));
+            for p in &pieces {
+                prop_assert!(!p.overlaps(&b));
+            }
+        }
+
+        #[test]
+        fn overlaps_iff_nonempty_intersection(a in range_strat(), b in range_strat()) {
+            prop_assert_eq!(a.overlaps(&b), !a.intersect(&b).is_empty());
+        }
+
+        #[test]
+        fn store_matches_btreemap(
+            ops in proptest::collection::vec(
+                (0..3u8, key_strat(), proptest::collection::vec(any::<u8>(), 0..4)),
+                1..60
+            ),
+            scan in range_strat()
+        ) {
+            let mut store = Store::new(StoreConfig::flat().with_subtable("a|", 2));
+            let mut model: BTreeMap<Key, Vec<u8>> = BTreeMap::new();
+            for (op, key, val) in ops {
+                match op {
+                    0 => {
+                        store.put(key.clone(), Bytes::from(val.clone()), false);
+                        model.insert(key, val);
+                    }
+                    1 => {
+                        let got = store.remove(&key).map(|v| v.to_vec());
+                        let want = model.remove(&key);
+                        prop_assert_eq!(got, want);
+                    }
+                    _ => {
+                        let got = store.get(&key).map(|v| v.to_vec());
+                        let want = model.get(&key).cloned();
+                        prop_assert_eq!(got, want);
+                    }
+                }
+            }
+            let got: Vec<(Key, Vec<u8>)> = store
+                .scan_collect(&scan)
+                .into_iter()
+                .map(|(k, v)| (k, v.to_vec()))
+                .collect();
+            let want: Vec<(Key, Vec<u8>)> = model
+                .iter()
+                .filter(|(k, _)| scan.contains(k))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            prop_assert_eq!(got, want);
+            prop_assert_eq!(store.len(), model.len());
+        }
+
+        #[test]
+        fn range_set_matches_naive(
+            ops in proptest::collection::vec((any::<bool>(), key_strat(), key_strat()), 0..25),
+            probe in key_strat(),
+            query in range_strat()
+        ) {
+            let mut set = RangeSet::new();
+            let mut naive: Vec<(bool, KeyRange)> = Vec::new();
+            for (add, a, b) in ops {
+                let range = KeyRange::new(a.clone().min(b.clone()), a.max(b));
+                if add { set.add(&range); } else { set.remove(&range); }
+                naive.push((add, range));
+            }
+            let covered = |k: &Key| {
+                let mut c = false;
+                for (add, r) in &naive {
+                    if r.contains(k) { c = *add; }
+                }
+                c
+            };
+            prop_assert_eq!(set.contains(&probe), covered(&probe));
+            // uncovered() partitions the query range correctly at the probe.
+            if query.contains(&probe) {
+                let in_gap = set.uncovered(&query).iter().any(|g| g.contains(&probe));
+                prop_assert_eq!(in_gap, !covered(&probe));
+            }
+            // Invariant: stored ranges are disjoint and non-empty.
+            let ranges: Vec<KeyRange> = set.iter().collect();
+            for (i, a) in ranges.iter().enumerate() {
+                prop_assert!(!a.is_empty());
+                for b in ranges.iter().skip(i + 1) {
+                    prop_assert!(!a.overlaps(b));
+                }
+            }
+        }
+
+        #[test]
+        fn interval_tree_matches_naive(
+            intervals in proptest::collection::vec((key_strat(), key_strat()), 0..30),
+            probe in key_strat(),
+            qrange in range_strat()
+        ) {
+            let mut tree = IntervalTree::new();
+            let mut naive = Vec::new();
+            for (a, b) in intervals {
+                let range = KeyRange::new(a.clone().min(b.clone()), a.max(b));
+                let id = tree.insert(range.clone(), ());
+                naive.push((id, range));
+            }
+            let mut got = tree.stab_ids(&probe);
+            got.sort();
+            let mut want: Vec<_> = naive.iter().filter(|(_, r)| r.contains(&probe)).map(|(i, _)| *i).collect();
+            want.sort();
+            prop_assert_eq!(got, want);
+
+            let mut got = tree.overlapping_ids(&qrange);
+            got.sort();
+            let mut want: Vec<_> = naive.iter().filter(|(_, r)| r.overlaps(&qrange)).map(|(i, _)| *i).collect();
+            want.sort();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

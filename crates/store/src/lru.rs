@@ -1,0 +1,121 @@
+//! Least-recently-used tracking for evictable items.
+//!
+//! Pequod evicts the least recently used data ranges under memory
+//! pressure (§2.5). The engine tags each evictable unit (a join status
+//! range, a remote-subscription range, or a cached base range) with an id
+//! and touches it on access; eviction pops ids in LRU order.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// Tracks last-use ordering for a set of ids.
+pub struct LruTracker<T> {
+    clock: u64,
+    by_time: BTreeMap<u64, T>,
+    time_of: HashMap<T, u64>,
+}
+
+impl<T: Clone + Eq + Hash> Default for LruTracker<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone + Eq + Hash> LruTracker<T> {
+    /// Creates an empty tracker.
+    pub fn new() -> LruTracker<T> {
+        LruTracker {
+            clock: 0,
+            by_time: BTreeMap::new(),
+            time_of: HashMap::new(),
+        }
+    }
+
+    /// Number of tracked ids.
+    pub fn len(&self) -> usize {
+        self.time_of.len()
+    }
+
+    /// True if nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.time_of.is_empty()
+    }
+
+    /// Marks `id` as just used (inserting it if new).
+    pub fn touch(&mut self, id: T) {
+        if let Some(old) = self.time_of.get(&id) {
+            self.by_time.remove(old);
+        }
+        self.clock += 1;
+        self.by_time.insert(self.clock, id.clone());
+        self.time_of.insert(id, self.clock);
+    }
+
+    /// Stops tracking `id`.
+    pub fn remove(&mut self, id: &T) -> bool {
+        match self.time_of.remove(id) {
+            Some(t) => {
+                self.by_time.remove(&t);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes and returns the least recently used id.
+    pub fn pop_lru(&mut self) -> Option<T> {
+        let (&t, _) = self.by_time.iter().next()?;
+        let id = self.by_time.remove(&t)?;
+        self.time_of.remove(&id);
+        Some(id)
+    }
+
+    /// Returns the least recently used id without removing it.
+    pub fn peek_lru(&self) -> Option<&T> {
+        self.by_time.values().next()
+    }
+
+    /// True if `id` is tracked.
+    pub fn contains(&self, id: &T) -> bool {
+        self.time_of.contains_key(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_lru_order() {
+        let mut lru = LruTracker::new();
+        lru.touch("a");
+        lru.touch("b");
+        lru.touch("c");
+        assert_eq!(lru.pop_lru(), Some("a"));
+        assert_eq!(lru.pop_lru(), Some("b"));
+        assert_eq!(lru.pop_lru(), Some("c"));
+        assert_eq!(lru.pop_lru(), None);
+    }
+
+    #[test]
+    fn touch_refreshes_position() {
+        let mut lru = LruTracker::new();
+        lru.touch(1);
+        lru.touch(2);
+        lru.touch(1); // 1 becomes most recent
+        assert_eq!(lru.pop_lru(), Some(2));
+        assert_eq!(lru.pop_lru(), Some(1));
+    }
+
+    #[test]
+    fn remove_untracks() {
+        let mut lru = LruTracker::new();
+        lru.touch("x");
+        lru.touch("y");
+        assert!(lru.remove(&"x"));
+        assert!(!lru.remove(&"x"));
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.peek_lru(), Some(&"y"));
+        assert!(lru.contains(&"y"));
+    }
+}

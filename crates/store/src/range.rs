@@ -1,0 +1,338 @@
+//! Half-open key ranges `[first, end)` with a possibly-unbounded end.
+//!
+//! Every Pequod scan, join status range, updater interval, and
+//! subscription is described by a [`KeyRange`]. The upper end is an
+//! [`UpperBound`]: either an exclusive key or `+∞` (needed because the
+//! prefix-end of an all-`0xff` key does not exist).
+
+use crate::key::Key;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Exclusive upper bound of a range; `Unbounded` sorts above every key.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum UpperBound {
+    /// All keys strictly below the given key are inside the bound.
+    Excluded(Key),
+    /// No upper limit.
+    Unbounded,
+}
+
+impl UpperBound {
+    /// True if `key` lies below this bound.
+    #[inline]
+    pub fn admits(&self, key: &Key) -> bool {
+        match self {
+            UpperBound::Excluded(e) => key < e,
+            UpperBound::Unbounded => true,
+        }
+    }
+
+    /// Returns the bound key if bounded.
+    pub fn as_key(&self) -> Option<&Key> {
+        match self {
+            UpperBound::Excluded(k) => Some(k),
+            UpperBound::Unbounded => None,
+        }
+    }
+
+    /// The lesser of two upper bounds.
+    pub fn min(self, other: UpperBound) -> UpperBound {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The greater of two upper bounds.
+    pub fn max(self, other: UpperBound) -> UpperBound {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl PartialOrd for UpperBound {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for UpperBound {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (UpperBound::Unbounded, UpperBound::Unbounded) => Ordering::Equal,
+            (UpperBound::Unbounded, _) => Ordering::Greater,
+            (_, UpperBound::Unbounded) => Ordering::Less,
+            (UpperBound::Excluded(a), UpperBound::Excluded(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl fmt::Debug for UpperBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpperBound::Excluded(k) => write!(f, "{k:?}"),
+            UpperBound::Unbounded => write!(f, "+inf"),
+        }
+    }
+}
+
+impl From<Key> for UpperBound {
+    fn from(k: Key) -> Self {
+        UpperBound::Excluded(k)
+    }
+}
+
+/// A half-open range of keys `[first, end)`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct KeyRange {
+    /// Inclusive lower bound.
+    pub first: Key,
+    /// Exclusive upper bound.
+    pub end: UpperBound,
+}
+
+impl KeyRange {
+    /// Builds a range from an inclusive start and exclusive end key.
+    pub fn new(first: impl Into<Key>, end: impl Into<Key>) -> KeyRange {
+        KeyRange {
+            first: first.into(),
+            end: UpperBound::Excluded(end.into()),
+        }
+    }
+
+    /// Builds a range with an explicit upper bound.
+    pub fn with_bound(first: impl Into<Key>, end: UpperBound) -> KeyRange {
+        KeyRange {
+            first: first.into(),
+            end,
+        }
+    }
+
+    /// The range containing every key that starts with `prefix`
+    /// (the paper's `[t|ann|, t|ann|+)`).
+    pub fn prefix(prefix: impl Into<Key>) -> KeyRange {
+        let p = prefix.into();
+        let end = match p.prefix_end() {
+            Some(e) => UpperBound::Excluded(e),
+            None => UpperBound::Unbounded,
+        };
+        KeyRange { first: p, end }
+    }
+
+    /// The range containing exactly one key.
+    pub fn single(key: impl Into<Key>) -> KeyRange {
+        let k = key.into();
+        let end = UpperBound::Excluded(k.successor());
+        KeyRange { first: k, end }
+    }
+
+    /// The range containing every key.
+    pub fn all() -> KeyRange {
+        KeyRange {
+            first: Key::empty(),
+            end: UpperBound::Unbounded,
+        }
+    }
+
+    /// True if the range contains no keys.
+    pub fn is_empty(&self) -> bool {
+        match &self.end {
+            UpperBound::Excluded(e) => &self.first >= e,
+            UpperBound::Unbounded => false,
+        }
+    }
+
+    /// True if `key` is inside the range.
+    pub fn contains(&self, key: &Key) -> bool {
+        key >= &self.first && self.end.admits(key)
+    }
+
+    /// True if `other` is entirely inside this range.
+    pub fn contains_range(&self, other: &KeyRange) -> bool {
+        other.is_empty() || (other.first >= self.first && other.end <= self.end)
+    }
+
+    /// True if the two ranges share at least one key.
+    pub fn overlaps(&self, other: &KeyRange) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        self.end.admits(&other.first) && other.end.admits(&self.first)
+    }
+
+    /// The intersection of two ranges (possibly empty).
+    pub fn intersect(&self, other: &KeyRange) -> KeyRange {
+        KeyRange {
+            first: self.first.clone().max(other.first.clone()),
+            end: self.end.clone().min(other.end.clone()),
+        }
+    }
+
+    /// The smallest range covering both ranges. Only meaningful when the
+    /// ranges overlap or abut; gaps between them are swallowed.
+    pub fn cover(&self, other: &KeyRange) -> KeyRange {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        KeyRange {
+            first: self.first.clone().min(other.first.clone()),
+            end: self.end.clone().max(other.end.clone()),
+        }
+    }
+
+    /// Subtracts `other`, returning the 0, 1, or 2 leftover pieces.
+    pub fn subtract(&self, other: &KeyRange) -> Vec<KeyRange> {
+        if self.is_empty() {
+            return vec![];
+        }
+        if !self.overlaps(other) {
+            return vec![self.clone()];
+        }
+        let mut out = Vec::new();
+        if other.first > self.first {
+            out.push(KeyRange {
+                first: self.first.clone(),
+                end: UpperBound::Excluded(other.first.clone()),
+            });
+        }
+        if other.end < self.end {
+            if let UpperBound::Excluded(e) = &other.end {
+                out.push(KeyRange {
+                    first: e.clone(),
+                    end: self.end.clone(),
+                });
+            }
+        }
+        out.retain(|r| !r.is_empty());
+        out
+    }
+
+    /// True if the ranges are adjacent (this range's end equals the
+    /// other's start) or overlapping, i.e. their union is contiguous.
+    pub fn touches(&self, other: &KeyRange) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        let self_end_ge_other_first = match &self.end {
+            UpperBound::Excluded(e) => e >= &other.first,
+            UpperBound::Unbounded => true,
+        };
+        let other_end_ge_self_first = match &other.end {
+            UpperBound::Excluded(e) => e >= &self.first,
+            UpperBound::Unbounded => true,
+        };
+        self_end_ge_other_first && other_end_ge_self_first
+    }
+}
+
+impl fmt::Debug for KeyRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:?}, {:?})", self.first, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: &str, b: &str) -> KeyRange {
+        KeyRange::new(a, b)
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let range = r("t|ann|100", "t|ann|200");
+        assert!(range.contains(&Key::from("t|ann|100")));
+        assert!(range.contains(&Key::from("t|ann|150|bob")));
+        assert!(!range.contains(&Key::from("t|ann|200")));
+        assert!(!range.contains(&Key::from("t|ann|099")));
+    }
+
+    #[test]
+    fn prefix_range_matches_paper_example() {
+        let range = KeyRange::prefix("t|ann|");
+        assert!(range.contains(&Key::from("t|ann|100|bob")));
+        assert!(!range.contains(&Key::from("t|anna")));
+        assert!(!range.contains(&Key::from("t|ann}")));
+    }
+
+    #[test]
+    fn single_contains_only_key() {
+        let range = KeyRange::single("a|b");
+        assert!(range.contains(&Key::from("a|b")));
+        assert!(!range.contains(&Key::from("a|b\x00\x00")));
+        assert!(!range.contains(&Key::from("a|c")));
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(r("b", "a").is_empty());
+        assert!(r("a", "a").is_empty());
+        assert!(!r("a", "b").is_empty());
+        assert!(!KeyRange::all().is_empty());
+    }
+
+    #[test]
+    fn overlap_and_intersect() {
+        let a = r("b", "f");
+        let b = r("d", "k");
+        assert!(a.overlaps(&b));
+        let i = a.intersect(&b);
+        assert_eq!(i, r("d", "f"));
+        assert!(!r("a", "b").overlaps(&r("b", "c"))); // half-open: abutting is disjoint
+        assert!(r("a", "b").intersect(&r("b", "c")).is_empty());
+    }
+
+    #[test]
+    fn unbounded_ranges() {
+        let a = KeyRange::with_bound("m", UpperBound::Unbounded);
+        assert!(a.contains(&Key::from(vec![0xffu8; 8])));
+        assert!(!a.contains(&Key::from("a")));
+        assert!(a.overlaps(&KeyRange::all()));
+        assert_eq!(a.intersect(&r("a", "z")), r("m", "z"));
+    }
+
+    #[test]
+    fn subtract_produces_pieces() {
+        let a = r("b", "k");
+        assert_eq!(a.subtract(&r("d", "f")), vec![r("b", "d"), r("f", "k")]);
+        assert_eq!(a.subtract(&r("a", "d")), vec![r("d", "k")]);
+        assert_eq!(a.subtract(&r("f", "z")), vec![r("b", "f")]);
+        assert_eq!(a.subtract(&r("a", "z")), Vec::<KeyRange>::new());
+        assert_eq!(a.subtract(&r("x", "z")), vec![a.clone()]);
+        let unb = KeyRange::with_bound("b", UpperBound::Unbounded);
+        assert_eq!(
+            unb.subtract(&r("d", "f")),
+            vec![r("b", "d"), KeyRange::with_bound("f", UpperBound::Unbounded)]
+        );
+    }
+
+    #[test]
+    fn touches_detects_adjacency() {
+        assert!(r("a", "b").touches(&r("b", "c")));
+        assert!(r("a", "c").touches(&r("b", "d")));
+        assert!(!r("a", "b").touches(&r("c", "d")));
+    }
+
+    #[test]
+    fn cover_spans_both() {
+        assert_eq!(r("a", "c").cover(&r("b", "f")), r("a", "f"));
+        assert_eq!(r("a", "c").cover(&r("x", "x")), r("a", "c"));
+    }
+
+    #[test]
+    fn contains_range_edge_cases() {
+        assert!(r("a", "z").contains_range(&r("b", "c")));
+        assert!(r("a", "z").contains_range(&r("z", "a"))); // empty inside anything
+        assert!(!r("a", "c").contains_range(&r("b", "d")));
+        assert!(KeyRange::all().contains_range(&r("a", "z")));
+    }
+}

@@ -1,0 +1,207 @@
+//! Synthetic social graph generation.
+//!
+//! **Substitution for the 2009 Twitter graph** (Kwak et al. [21], 40M
+//! users / 1.4B edges; the paper's single-machine experiments use a
+//! sampled subgraph of 1.8M users / 72M edges). The graph is proprietary
+//! at that scale, so we generate a power-law follower graph with the
+//! properties the experiments exercise: heavy-tailed in-degree
+//! (celebrities), tens of followees per user on average, and
+//! deterministic regeneration from a seed. Scale is a knob; the
+//! benchmark harness keeps the paper's ratios (edges/users ≈ 40).
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Graph generation parameters.
+#[derive(Clone, Debug)]
+pub struct GraphConfig {
+    /// Number of users.
+    pub users: u32,
+    /// Mean followees per user.
+    pub avg_followees: f64,
+    /// Zipf exponent for target popularity (higher = more celebrity
+    /// skew). The Twitter in-degree distribution fits α ≈ 1.0–1.3.
+    pub zipf_alpha: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        GraphConfig {
+            users: 10_000,
+            avg_followees: 40.0,
+            zipf_alpha: 1.2,
+            seed: 0x7e9_0d,
+        }
+    }
+}
+
+/// A generated follower graph.
+pub struct SocialGraph {
+    /// Adjacency: `followees[u]` lists the users `u` follows.
+    followees: Vec<Vec<u32>>,
+    /// In-degree: `followers[u]` counts how many users follow `u`.
+    followers: Vec<u32>,
+    /// Total edges.
+    edges: usize,
+}
+
+impl SocialGraph {
+    /// Generates a graph.
+    pub fn generate(config: &GraphConfig) -> SocialGraph {
+        let n = config.users as usize;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        // Popularity rank: a fixed random permutation so user ids are not
+        // correlated with popularity.
+        let mut by_rank: Vec<u32> = (0..config.users).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            by_rank.swap(i, j);
+        }
+        let zipf = Zipf::new(n.max(2) as u64, config.zipf_alpha);
+        let mut followees: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut followers = vec![0u32; n];
+        let mut edges = 0usize;
+        for u in 0..n {
+            // Followee count: geometric around the mean, min 1, so some
+            // users follow a handful and some follow hundreds.
+            let mut k = 1usize;
+            let p = 1.0 / config.avg_followees.max(1.0);
+            while rng.gen::<f64>() > p && k < n.saturating_sub(1).max(1) && k < 4096 {
+                k += 1;
+            }
+            let mine = &mut followees[u];
+            for _ in 0..k {
+                let rank = zipf.sample(&mut rng) as usize - 1;
+                let target = by_rank[rank.min(n - 1)];
+                if target as usize != u && !mine.contains(&target) {
+                    mine.push(target);
+                    followers[target as usize] += 1;
+                    edges += 1;
+                }
+            }
+            mine.sort_unstable();
+        }
+        SocialGraph {
+            followees,
+            followers,
+            edges,
+        }
+    }
+
+    /// Number of users.
+    pub fn users(&self) -> u32 {
+        self.followees.len() as u32
+    }
+
+    /// Number of follow edges.
+    pub fn edges(&self) -> usize {
+        self.edges
+    }
+
+    /// The users `u` follows.
+    pub fn followees(&self, u: u32) -> &[u32] {
+        &self.followees[u as usize]
+    }
+
+    /// How many users follow `u`.
+    pub fn follower_count(&self, u: u32) -> u32 {
+        self.followers[u as usize]
+    }
+
+    /// The maximum in-degree (the biggest celebrity).
+    pub fn max_followers(&self) -> u32 {
+        self.followers.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Users sorted by follower count, descending (for celebrity joins).
+    pub fn celebrities(&self, top: usize) -> Vec<u32> {
+        let mut ids: Vec<u32> = (0..self.users()).collect();
+        ids.sort_by_key(|&u| std::cmp::Reverse(self.followers[u as usize]));
+        ids.truncate(top);
+        ids
+    }
+
+    /// Post weight ∝ log of follower count (§5.1: "the probability that
+    /// a user posts a message is proportional to the log of their
+    /// follower count").
+    pub fn post_weight(&self, u: u32) -> f64 {
+        ((self.follower_count(u) as f64) + 2.0).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SocialGraph {
+        SocialGraph::generate(&GraphConfig {
+            users: 2000,
+            avg_followees: 10.0,
+            zipf_alpha: 1.2,
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn graph_has_requested_shape() {
+        let g = small();
+        assert_eq!(g.users(), 2000);
+        // Average followees near the mean (deduping shaves a little).
+        let avg = g.edges() as f64 / 2000.0;
+        assert!(avg > 4.0 && avg < 12.0, "avg followees {avg}");
+    }
+
+    #[test]
+    fn in_degree_is_heavy_tailed() {
+        let g = small();
+        let max = g.max_followers();
+        let avg = g.edges() as f64 / 2000.0;
+        assert!(
+            (max as f64) > avg * 10.0,
+            "celebrity skew expected: max {max}, avg {avg}"
+        );
+        let celebs = g.celebrities(5);
+        assert_eq!(celebs.len(), 5);
+        assert!(g.follower_count(celebs[0]) >= g.follower_count(celebs[4]));
+    }
+
+    #[test]
+    fn no_self_follows_or_duplicates() {
+        let g = small();
+        for u in 0..g.users() {
+            let f = g.followees(u);
+            assert!(!f.contains(&u));
+            let mut dedup = f.to_vec();
+            dedup.dedup();
+            assert_eq!(dedup.len(), f.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.edges(), b.edges());
+        assert_eq!(a.followees(7), b.followees(7));
+        let c = SocialGraph::generate(&GraphConfig {
+            seed: 2,
+            users: 2000,
+            avg_followees: 10.0,
+            zipf_alpha: 1.2,
+        });
+        assert_ne!(a.followees(7), c.followees(7));
+    }
+
+    #[test]
+    fn post_weight_grows_with_popularity() {
+        let g = small();
+        let celeb = g.celebrities(1)[0];
+        let nobody = (0..g.users())
+            .min_by_key(|&u| g.follower_count(u))
+            .unwrap();
+        assert!(g.post_weight(celeb) > g.post_weight(nobody));
+    }
+}

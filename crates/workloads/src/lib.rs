@@ -1,0 +1,30 @@
+//! `pequod-workloads` — the applications and workload generators of the
+//! Pequod evaluation (§5).
+//!
+//! * [`graph`] — synthetic power-law social graphs (the substitution for
+//!   the proprietary 2009 Twitter crawl; see DESIGN.md).
+//! * [`twip`] — the Twitter-like application: key schema, joins
+//!   (including celebrity handling), the [`twip::TwipBackend`] trait the
+//!   comparison systems implement, and the §5.1 client model.
+//! * [`newp`] — the Hacker News-like application with interleaved and
+//!   non-interleaved configurations (Figures 1 and 9).
+//! * [`rpc`] — per-RPC cost metering through the real wire codec, so
+//!   in-process backends pay proportionally for the RPCs they would
+//!   issue.
+//! * [`zipf`] — the Zipf sampler behind graph popularity.
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod newp;
+pub mod rpc;
+pub mod twip;
+pub mod zipf;
+
+pub use graph::{GraphConfig, SocialGraph};
+pub use newp::{run_newp, NewpBackend, NewpConfig, NewpRunStats, PequodNewp};
+pub use rpc::RpcMeter;
+pub use twip::{
+    run_twip, PequodTwip, TwipBackend, TwipMix, TwipOp, TwipRunStats, TwipWorkload,
+};
+pub use zipf::Zipf;

@@ -1,0 +1,126 @@
+//! A Zipf(α) sampler over ranks `1..=n`.
+//!
+//! Social-graph popularity is heavy-tailed; the Twip experiments sample
+//! follow targets from a Zipf distribution so a few "celebrities"
+//! accumulate millions of followers, matching the shape of the 2009
+//! Twitter graph the paper uses. Implementation: the standard
+//! rejection-inversion method (Hörmann & Derflinger), deterministic
+//! given the caller's RNG.
+
+use rand::Rng;
+
+/// Zipf distribution over `{1, ..., n}` with exponent `alpha > 0`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    alpha: f64,
+    // Precomputed constants for rejection-inversion.
+    h_x1: f64,
+    h_n: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler for ranks `1..=n` with the given exponent.
+    pub fn new(n: u64, alpha: f64) -> Zipf {
+        assert!(n >= 1, "need at least one rank");
+        assert!(alpha > 0.0 && alpha != 1.0, "alpha must be > 0 and != 1");
+        let h = |x: f64| -> f64 { ((1.0 - alpha) * x.ln()).exp_m1() / (1.0 - alpha) + x };
+        // H(x) = integral of x^-alpha; using the shifted form keeps
+        // precision for alpha near 1.
+        let hh = |x: f64| -> f64 {
+            ((1.0 - alpha) * (1.0 + x).ln()).exp() / (1.0 - alpha)
+        };
+        let _ = h;
+        let h_x1 = hh(1.5) - 1.0f64.powf(-alpha);
+        let h_n = hh(n as f64 + 0.5);
+        let s = 2.0 - hinv(hh(2.5) - (2.0f64).powf(-alpha), alpha);
+        return Zipf {
+            n,
+            alpha,
+            h_x1,
+            h_n,
+            s,
+        };
+
+        fn hinv(x: f64, alpha: f64) -> f64 {
+            ((1.0 - alpha) * x).powf(1.0 / (1.0 - alpha)) - 1.0
+        }
+    }
+
+    fn hh(&self, x: f64) -> f64 {
+        ((1.0 - self.alpha) * (1.0 + x).ln()).exp() / (1.0 - self.alpha)
+    }
+
+    fn hinv(&self, x: f64) -> f64 {
+        ((1.0 - self.alpha) * x).powf(1.0 / (1.0 - self.alpha)) - 1.0
+    }
+
+    /// Samples a rank in `1..=n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        loop {
+            let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
+            let x = self.hinv(u);
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            if k - x <= self.s
+                || u >= self.hh(k - 0.5) - (-self.alpha * k.ln()).exp()
+            {
+                return k as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let s = z.sample(&mut rng);
+            assert!((1..=100).contains(&s));
+        }
+    }
+
+    #[test]
+    fn rank_one_dominates() {
+        let z = Zipf::new(1000, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0u32; 1001];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[10]);
+        assert!(counts[1] > counts[100] * 10);
+        // The tail still gets hit.
+        let tail: u32 = counts[500..].iter().sum();
+        assert!(tail > 0);
+    }
+
+    #[test]
+    fn single_rank_degenerate() {
+        let z = Zipf::new(1, 1.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(500, 0.9);
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,55 @@
+//! Newp: the Hacker News-like aggregator of Figure 1. Interleaved cache
+//! joins collate an article, its vote rank, its comments, and each
+//! commenter's karma into one contiguous `page|` range so rendering an
+//! article is a single scan.
+//!
+//! Run with `cargo run --example newp_pages`.
+
+use pequod::core::Engine;
+use pequod::prelude::*;
+use pequod::workloads::newp::{NewpBackend, PequodNewp};
+
+fn main() {
+    let mut site = PequodNewp::new(Engine::new(EngineConfig::default()), true);
+
+    // kat authors an article; people vote and comment.
+    site.load("article|n000007|0000001".into(), "Cache joins considered delightful");
+    site.vote(7, 1, 21);
+    site.vote(7, 1, 22);
+    site.comment(7, 1, 1, 42, "great read!");
+    // commenter 42's karma comes from votes on their own article
+    site.load("article|n000042|0000009".into(), "An older post");
+    site.vote(42, 9, 7);
+    site.vote(42, 9, 21);
+    site.vote(42, 9, 22);
+
+    // One ordered scan renders the whole page.
+    let page = site
+        .engine
+        .scan(&KeyRange::prefix("page|n000007|0000001|"));
+    println!("page|n000007|0000001| scan:");
+    for (k, v) in &page.pairs {
+        println!("  {k} = {}", String::from_utf8_lossy(v));
+    }
+    // |a article, |c comment, |k commenter karma, |r rank
+    assert_eq!(page.pairs.len(), 4);
+
+    // A new vote updates the rank *inside the page* incrementally.
+    site.vote(7, 1, 23);
+    let rank = site
+        .engine
+        .get_value(&Key::from("page|n000007|0000001|r"))
+        .unwrap();
+    println!("\nafter one more vote, rank = {}", String::from_utf8_lossy(&rank));
+    assert_eq!(&rank[..], b"3");
+
+    // And a vote on the commenter's own article updates their karma in
+    // every page where they commented.
+    site.vote(42, 9, 23);
+    let karma = site
+        .engine
+        .get_value(&Key::from("page|n000007|0000001|k|000001|n000042"))
+        .unwrap();
+    println!("commenter karma on the page = {}", String::from_utf8_lossy(&karma));
+    assert_eq!(&karma[..], b"4");
+}

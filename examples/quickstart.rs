@@ -1,0 +1,55 @@
+//! Quickstart: install a cache join, write base data, read computed
+//! data, and watch incremental maintenance keep it fresh.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use pequod::prelude::*;
+
+fn show(engine: &mut Engine, label: &str) {
+    println!("-- {label}");
+    for (k, v) in engine.scan(&KeyRange::prefix("t|ann|")).pairs {
+        println!("   {k} = {}", String::from_utf8_lossy(&v));
+    }
+}
+
+fn main() {
+    let mut engine = Engine::new_default();
+
+    // The Twip timeline join (paper §2.2): ann's timeline is a copy of
+    // every post by users ann follows, keyed so one ordered scan returns
+    // it time-sorted.
+    engine
+        .add_join_text(
+            "t|<user>|<time:10>|<poster> = check s|<user>|<poster> copy p|<poster>|<time:10>",
+        )
+        .unwrap();
+
+    // Base data: subscriptions and posts.
+    engine.put("s|ann|bob", "1");
+    engine.put("s|ann|liz", "1");
+    engine.put("p|bob|0000000100", "Hi");
+    engine.put("p|liz|0000000124", "hello, world!");
+
+    // First read computes the timeline on demand and materializes it.
+    show(&mut engine, "after first read (computed on demand)");
+
+    // Later posts are pushed into the materialized timeline eagerly...
+    engine.put("p|bob|0000000150", "eagerly maintained");
+    show(&mut engine, "after bob posts again (incremental update)");
+
+    // ...subscriptions maintain it too (lazily, applied at next read)...
+    engine.put("s|ann|zed", "1");
+    engine.put("p|zed|0000000090", "backfilled from before the follow");
+    show(&mut engine, "after following zed (lazy backfill)");
+
+    // ...and removals propagate.
+    engine.remove(&Key::from("p|bob|0000000100"));
+    show(&mut engine, "after bob deletes his first tweet");
+
+    println!(
+        "\nengine stats: {} store keys, {} materialized ranges, {} updater entries",
+        engine.store_stats().keys,
+        engine.materialized_ranges(),
+        engine.updater_entries()
+    );
+}

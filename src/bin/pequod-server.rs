@@ -1,0 +1,67 @@
+//! `pequod-server` — a standalone Pequod cache server over TCP.
+//!
+//! ```text
+//! pequod-server [--listen ADDR] [--join 'SPEC'] [--joins-file PATH]
+//!               [--subtable PREFIX:DEPTH]
+//! ```
+//!
+//! Speaks the length-prefixed binary protocol of `pequod-net`; use
+//! `pequod::net::TcpClient` (or the `tcp_demo` example) as a client.
+
+use pequod::core::{Engine, EngineConfig};
+use pequod::store::StoreConfig;
+
+fn main() {
+    let mut listen = "127.0.0.1:7634".to_string();
+    let mut joins: Vec<String> = Vec::new();
+    let mut store = StoreConfig::flat();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = args.next().expect("--listen needs an address"),
+            "--join" => joins.push(args.next().expect("--join needs a spec")),
+            "--joins-file" => {
+                let path = args.next().expect("--joins-file needs a path");
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+                joins.push(text);
+            }
+            "--subtable" => {
+                let spec = args.next().expect("--subtable needs PREFIX:DEPTH");
+                let (prefix, depth) = spec
+                    .rsplit_once(':')
+                    .expect("--subtable format is PREFIX:DEPTH");
+                let depth: usize = depth.parse().expect("subtable depth must be a number");
+                store = store.with_subtable(prefix, depth);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "pequod-server [--listen ADDR] [--join 'SPEC']... \
+                     [--joins-file PATH] [--subtable PREFIX:DEPTH]..."
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut engine = Engine::new(EngineConfig::with_store(store));
+    for text in &joins {
+        match engine.add_joins_text(text) {
+            Ok(ids) => eprintln!("installed {} join(s)", ids.len()),
+            Err(e) => {
+                eprintln!("bad join: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let server = pequod::net::TcpServer::spawn(&*listen, engine)
+        .unwrap_or_else(|e| panic!("cannot listen on {listen}: {e}"));
+    eprintln!("pequod-server listening on {}", server.addr());
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,52 @@
+//! **Pequod** — a distributed application-level key-value cache with
+//! declaratively defined, incrementally maintained, dynamic, partially
+//! materialized views ("cache joins").
+//!
+//! Rust reproduction of *Easy Freshness with Pequod Cache Joins*
+//! (Kate, Kohler, Kester, Narula, Mao, Morris — NSDI 2014).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`store`] — ordered key-value substrate (keys, ranges, tables,
+//!   subtables, interval tree, LRU).
+//! * [`join`] — the cache-join language: patterns, slots, containing
+//!   ranges, the Figure 2 grammar.
+//! * [`core`] — the engine: query execution, incremental maintenance,
+//!   invalidation, eviction.
+//! * [`db`] — backing database substrate with NOTIFY-style
+//!   subscriptions and the write-around deployment.
+//! * [`net`] — the distributed tier: wire codec, server nodes,
+//!   deterministic cluster simulator, TCP transport.
+//! * [`workloads`] — Twip and Newp applications and workload
+//!   generators.
+//! * [`baselines`] — the comparison systems of the paper's Figure 7.
+//!
+//! ```
+//! use pequod::prelude::*;
+//!
+//! let mut engine = Engine::new_default();
+//! engine
+//!     .add_join_text(
+//!         "t|<user>|<time:10>|<poster> = check s|<user>|<poster> copy p|<poster>|<time:10>",
+//!     )
+//!     .unwrap();
+//! engine.put("s|ann|bob", "1");
+//! engine.put("p|bob|0000000100", "Hi");
+//! let timeline = engine.scan(&KeyRange::prefix("t|ann|"));
+//! assert_eq!(timeline.pairs.len(), 1);
+//! ```
+
+pub use pequod_baselines as baselines;
+pub use pequod_core as core;
+pub use pequod_db as db;
+pub use pequod_join as join;
+pub use pequod_net as net;
+pub use pequod_store as store;
+pub use pequod_workloads as workloads;
+
+/// The most common imports.
+pub mod prelude {
+    pub use pequod_core::{Engine, EngineConfig, MaterializationMode, ScanResult};
+    pub use pequod_join::{JoinSpec, Maintenance, Operator};
+    pub use pequod_store::{Key, KeyRange, Store, StoreConfig, UpperBound, Value};
+}
