@@ -493,6 +493,86 @@ mod tests {
     }
 
     #[test]
+    fn malformed_patterns_return_err() {
+        use crate::pattern::PatternError;
+        // Unterminated slot, in the output and in a source.
+        assert!(matches!(
+            JoinSpec::parse("t|<user = copy p|<user>"),
+            Err(JoinError::Pattern(_, PatternError::UnterminatedSlot))
+        ));
+        assert!(matches!(
+            JoinSpec::parse("t|<user> = copy p|<user"),
+            Err(JoinError::Pattern(_, PatternError::UnterminatedSlot))
+        ));
+        // Widths must be positive integers.
+        assert!(matches!(
+            JoinSpec::parse("t|<t:xx> = copy p|<t:xx>"),
+            Err(JoinError::Pattern(_, PatternError::BadWidth(_)))
+        ));
+        assert!(matches!(
+            JoinSpec::parse("t|<t:0> = copy p|<t:0>"),
+            Err(JoinError::Pattern(_, PatternError::BadWidth(_)))
+        ));
+        // Slot names must be nonempty [A-Za-z0-9_]+.
+        assert!(matches!(
+            JoinSpec::parse("t|<> = copy p|<x>"),
+            Err(JoinError::Pattern(_, PatternError::BadSlotName(_)))
+        ));
+        assert!(matches!(
+            JoinSpec::parse("t|<a-b> = copy p|<x>"),
+            Err(JoinError::Pattern(_, PatternError::BadSlotName(_)))
+        ));
+        // Two variable-width slots with no separating literal.
+        assert!(matches!(
+            JoinSpec::parse("t|<a><b> = check s|<a> copy p|<b>"),
+            Err(JoinError::Pattern(_, PatternError::AdjacentVariableSlots))
+        ));
+        // A slot may not repeat within one pattern.
+        assert!(matches!(
+            JoinSpec::parse("t|<a>|<a> = copy p|<a>"),
+            Err(JoinError::Pattern(_, PatternError::DuplicateSlot(_)))
+        ));
+        // Empty output pattern.
+        assert!(matches!(
+            JoinSpec::parse("= copy p|<x>"),
+            Err(JoinError::Pattern(_, PatternError::Empty))
+        ));
+    }
+
+    #[test]
+    fn malformed_text_never_panics() {
+        // Adversarial inputs must all produce Err (or Ok), never panic.
+        let nasty = [
+            "",
+            " ",
+            ";",
+            "=",
+            "==",
+            "= =",
+            "a|<x> = = copy b|<x>",
+            "<",
+            ">",
+            "<>",
+            "<<<>>>",
+            "a|<x> = copy <",
+            "a|<x> = snapshot 99999999999999999999999 copy b|<x>",
+            "a|<x> = snapshot -3 copy b|<x>",
+            "a|<x:99999999999999999999> = copy b|<x>",
+            "ключ|<слот> = copy p|<слот>",
+            "a|<x>\u{0}|<y> = check s|<x> copy p|<y>",
+            "a|<x> = copy b|<x> ;;; c|<y> = copy d|<y>",
+            "🦀|<x> = copy 🦀🦀|<x>",
+        ];
+        for text in nasty {
+            let _ = JoinSpec::parse(text);
+            let _ = parse_joins(text);
+        }
+        // A long pathological input exercises the literal/slot scanner.
+        let long = format!("a|{} = copy b|<x>", "<".repeat(4096));
+        let _ = JoinSpec::parse(&long);
+    }
+
+    #[test]
     fn display_roundtrips() {
         let j = JoinSpec::parse(TIMELINE).unwrap();
         let j2 = JoinSpec::parse(&j.to_string()).unwrap();

@@ -9,7 +9,7 @@
 use crate::codec::{decode_frame, encode_frame, CodecError};
 use crate::message::Message;
 use bytes::BytesMut;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use pequod_core::Engine;
 use pequod_store::{Key, KeyRange, Value};
 use std::io::{Read, Write};
@@ -115,7 +115,7 @@ fn serve_connection(mut stream: TcpStream, engine: Arc<Mutex<Engine>>) -> std::i
 fn handle_client_message(engine: &Mutex<Engine>, msg: Message) -> Option<Message> {
     let reply = match msg {
         Message::Get { id, key } => {
-            let res = engine.lock().get(&key);
+            let res = engine.lock().unwrap_or_else(|e| e.into_inner()).get(&key);
             if res.is_complete() {
                 Message::reply(id, res.pairs)
             } else {
@@ -123,7 +123,7 @@ fn handle_client_message(engine: &Mutex<Engine>, msg: Message) -> Option<Message
             }
         }
         Message::Scan { id, range } => {
-            let res = engine.lock().scan(&range);
+            let res = engine.lock().unwrap_or_else(|e| e.into_inner()).scan(&range);
             if res.is_complete() {
                 Message::reply(id, res.pairs)
             } else {
@@ -131,17 +131,23 @@ fn handle_client_message(engine: &Mutex<Engine>, msg: Message) -> Option<Message
             }
         }
         Message::Put { id, key, value } => {
-            engine.lock().put(key, value);
+            engine.lock().unwrap_or_else(|e| e.into_inner()).put(key, value);
             Message::reply(id, vec![])
         }
         Message::Remove { id, key } => {
-            engine.lock().remove(&key);
+            engine.lock().unwrap_or_else(|e| e.into_inner()).remove(&key);
             Message::reply(id, vec![])
         }
-        Message::AddJoin { id, text } => match engine.lock().add_joins_text(&text) {
-            Ok(_) => Message::reply(id, vec![]),
-            Err(e) => Message::error(id, e.to_string()),
-        },
+        Message::AddJoin { id, text } => {
+            let result = engine
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .add_joins_text(&text);
+            match result {
+                Ok(_) => Message::reply(id, vec![]),
+                Err(e) => Message::error(id, e.to_string()),
+            }
+        }
         // Server-to-server traffic is not accepted on the client port.
         other => Message::error(other.id().unwrap_or(0), "unsupported on client connection"),
     };

@@ -28,3 +28,78 @@ pub use twip::{
     run_twip, PequodTwip, TwipBackend, TwipMix, TwipOp, TwipRunStats, TwipWorkload,
 };
 pub use zipf::Zipf;
+
+#[cfg(test)]
+mod determinism {
+    //! Workload generation is keyed entirely by explicit seeds (no
+    //! `thread_rng`): the same config must yield byte-identical graphs,
+    //! op streams, and run outcomes, or experiment results cannot be
+    //! compared across runs and machines.
+
+    use super::*;
+    use crate::twip::{run_twip, PequodTwip, TwipMix, TwipOp, TwipWorkload};
+    use pequod_core::{Engine, EngineConfig};
+
+    fn small_graph() -> GraphConfig {
+        GraphConfig {
+            users: 60,
+            ..GraphConfig::default()
+        }
+    }
+
+    #[test]
+    fn social_graph_is_deterministic() {
+        let cfg = small_graph();
+        let a = SocialGraph::generate(&cfg);
+        let b = SocialGraph::generate(&cfg);
+        assert_eq!(a.users(), b.users());
+        assert_eq!(a.edges(), b.edges());
+        for u in 0..a.users() {
+            assert_eq!(a.followees(u), b.followees(u), "followees of {u} diverged");
+        }
+    }
+
+    #[test]
+    fn graph_differs_across_seeds() {
+        let cfg = small_graph();
+        let mut other = small_graph();
+        other.seed ^= 1;
+        let a = SocialGraph::generate(&cfg);
+        let b = SocialGraph::generate(&other);
+        let diverges =
+            (0..a.users()).any(|u| a.followees(u) != b.followees(u)) || a.edges() != b.edges();
+        assert!(diverges, "different seeds produced identical graphs");
+    }
+
+    #[test]
+    fn twip_op_stream_is_deterministic() {
+        let graph = SocialGraph::generate(&small_graph());
+        let mix = TwipMix {
+            checks_per_user: 10,
+            seed: 42,
+            ..TwipMix::default()
+        };
+        let a = TwipWorkload::generate(&graph, &mix);
+        let b = TwipWorkload::generate(&graph, &mix);
+        assert_eq!(a.warm, b.warm);
+        assert_eq!(a.ops, b.ops);
+        assert!(a.ops.iter().any(|op| matches!(op, TwipOp::Check(_))));
+    }
+
+    #[test]
+    fn twip_run_outcome_is_deterministic() {
+        let graph = SocialGraph::generate(&small_graph());
+        let mix = TwipMix {
+            checks_per_user: 5,
+            seed: 9,
+            ..TwipMix::default()
+        };
+        let workload = TwipWorkload::generate(&graph, &mix);
+        let run = || {
+            let mut backend = PequodTwip::new(Engine::new(EngineConfig::default()));
+            let stats = run_twip(&mut backend, &graph, &workload, 200);
+            (stats.ops, stats.entries_returned, stats.rpcs, stats.rpc_bytes)
+        };
+        assert_eq!(run(), run());
+    }
+}

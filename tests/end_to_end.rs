@@ -8,7 +8,7 @@ use pequod::db::WriteAround;
 use pequod::net::{ServerId, ServerNode, SimCluster, SimConfig, TablePartition, TcpClient, TcpServer};
 use pequod::prelude::*;
 use pequod::workloads::graph::{GraphConfig, SocialGraph};
-use pequod::workloads::twip::{run_twip, PequodTwip, TwipBackend, TwipMix, TwipWorkload};
+use pequod::workloads::twip::{run_twip, PequodTwip, TwipMix, TwipWorkload};
 use std::sync::Arc;
 
 const TIMELINE: &str =

@@ -1,0 +1,205 @@
+//! A minimal, API-compatible subset of `criterion`, vendored because
+//! the build environment has no network access to crates.io.
+//!
+//! Benchmarks compile and run: each `bench_function` warms up, then
+//! measures batches until the configured measurement time elapses and
+//! prints mean ns/iter. There is no statistical analysis, HTML report,
+//! or baseline comparison.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measurement samples.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 10, "sample size must be >= 10");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long to measure each benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets how long to warm up each benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks (`group/bench` ids).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.criterion, &mut f);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark id with a parameter, e.g. `BenchmarkId::new("get", "flat")`.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iterations` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, config: &Criterion, f: &mut F) {
+    // Warm up and discover a per-sample iteration count.
+    let mut iters = 1u64;
+    let warm_up_end = Instant::now() + config.warm_up_time;
+    let mut per_iter = Duration::from_nanos(50);
+    while Instant::now() < warm_up_end {
+        let mut b = Bencher {
+            iterations: iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter = b.elapsed / (iters.max(1) as u32);
+        iters = (iters * 2).min(1 << 24);
+    }
+    // Measure.
+    let sample_iters = (Duration::from_millis(10).as_nanos() as u64)
+        .checked_div(per_iter.as_nanos().max(1) as u64)
+        .unwrap_or(1)
+        .clamp(1, 1 << 24);
+    let mut total_iters = 0u64;
+    let mut total_time = Duration::ZERO;
+    let measure_end = Instant::now() + config.measurement_time;
+    for _ in 0..config.sample_size {
+        let mut b = Bencher {
+            iterations: sample_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total_iters += sample_iters;
+        total_time += b.elapsed;
+        if Instant::now() >= measure_end {
+            break;
+        }
+    }
+    let mean_ns = total_time.as_nanos() as f64 / total_iters.max(1) as f64;
+    println!("{id:<40} {mean_ns:>12.1} ns/iter ({total_iters} iters)");
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,128 @@
+//! String strategies from (a subset of) regular expressions.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt;
+
+/// Error for patterns outside the supported subset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsupported regex: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[derive(Clone, Debug)]
+struct Atom {
+    /// Candidate characters (expanded from the class).
+    chars: Vec<char>,
+    min: usize,
+    max: usize, // inclusive
+}
+
+/// Generates strings matching a regex of the form
+/// `([class]{m[,n]} | [class] | literal)+`, where `class` supports
+/// explicit chars and `a-z` ranges. Covers patterns like `[a-d]{1,3}`
+/// and `[0-9]{10}` used by the test suites.
+#[derive(Clone, Debug)]
+pub struct RegexGeneratorStrategy {
+    atoms: Vec<Atom>,
+}
+
+/// Parses `pattern` into a string strategy.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let class: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .ok_or_else(|| Error(format!("unclosed class in {pattern:?}")))?
+                + i;
+            let body = &chars[i + 1..close];
+            if body.is_empty() || body[0] == '^' {
+                return Err(Error(format!("unsupported class in {pattern:?}")));
+            }
+            let mut set = Vec::new();
+            let mut j = 0;
+            while j < body.len() {
+                if j + 2 < body.len() && body[j + 1] == '-' {
+                    let (lo, hi) = (body[j], body[j + 2]);
+                    if lo > hi {
+                        return Err(Error(format!("bad range {lo}-{hi} in {pattern:?}")));
+                    }
+                    set.extend(lo..=hi);
+                    j += 3;
+                } else {
+                    set.push(body[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            set
+        } else {
+            if "(){}*+?|^$.\\".contains(chars[i]) {
+                return Err(Error(format!(
+                    "unsupported metacharacter {:?} in {pattern:?}",
+                    chars[i]
+                )));
+            }
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        // Optional {m} / {m,n} quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .ok_or_else(|| Error(format!("unclosed quantifier in {pattern:?}")))?
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let parse = |s: &str| {
+                s.parse::<usize>()
+                    .map_err(|_| Error(format!("bad quantifier {body:?} in {pattern:?}")))
+            };
+            let (lo, hi) = match body.split_once(',') {
+                Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+                None => {
+                    let n = parse(&body)?;
+                    (n, n)
+                }
+            };
+            if lo > hi {
+                return Err(Error(format!("bad quantifier {body:?} in {pattern:?}")));
+            }
+            i = close + 1;
+            (lo, hi)
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom {
+            chars: class,
+            min,
+            max,
+        });
+    }
+    Ok(RegexGeneratorStrategy { atoms })
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(atom.chars[rng.below(atom.chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}

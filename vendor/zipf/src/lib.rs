@@ -1,0 +1,121 @@
+//! A minimal, API-compatible subset of the `zipf` crate, vendored
+//! because the build environment has no network access to crates.io.
+//!
+//! `pequod_workloads::zipf` ships its own rejection-inversion sampler;
+//! this crate exists so the workspace can keep the `zipf` dependency
+//! pinned (and swap back to the real crate when a registry is
+//! available) without code changes.
+
+use rand::Rng;
+
+/// Zipf distribution over `{1, ..., num_elements}` with the given
+/// exponent, sampled by rejection-inversion (Hörmann & Derflinger).
+#[derive(Clone, Copy, Debug)]
+pub struct ZipfDistribution {
+    num_elements: f64,
+    exponent: f64,
+    h_integral_x1: f64,
+    h_integral_num_elements: f64,
+    s: f64,
+}
+
+impl ZipfDistribution {
+    /// Creates a sampler; fails if `num_elements == 0` or
+    /// `exponent <= 0`.
+    pub fn new(num_elements: usize, exponent: f64) -> Result<ZipfDistribution, ()> {
+        if num_elements == 0 || exponent <= 0.0 {
+            return Err(());
+        }
+        let n = num_elements as f64;
+        let mut d = ZipfDistribution {
+            num_elements: n,
+            exponent,
+            h_integral_x1: 0.0,
+            h_integral_num_elements: 0.0,
+            s: 0.0,
+        };
+        d.h_integral_x1 = d.h_integral(1.5) - 1.0;
+        d.h_integral_num_elements = d.h_integral(n + 0.5);
+        d.s = 2.0 - d.h_integral_inv(d.h_integral(2.5) - d.h(2.0));
+        Ok(d)
+    }
+
+    fn h(&self, x: f64) -> f64 {
+        (-self.exponent * x.ln()).exp()
+    }
+
+    fn h_integral(&self, x: f64) -> f64 {
+        let log_x = x.ln();
+        helper2((1.0 - self.exponent) * log_x) * log_x
+    }
+
+    fn h_integral_inv(&self, x: f64) -> f64 {
+        let mut t = x * (1.0 - self.exponent);
+        if t < -1.0 {
+            t = -1.0;
+        }
+        (helper1(t) * x).exp()
+    }
+
+    /// Samples a rank in `1..=num_elements`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        loop {
+            let u: f64 = rng.gen::<f64>();
+            let u = self.h_integral_num_elements
+                + u * (self.h_integral_x1 - self.h_integral_num_elements);
+            let x = self.h_integral_inv(u);
+            let k64 = x.clamp(1.0, self.num_elements);
+            let k = (k64 + 0.5).floor().clamp(1.0, self.num_elements);
+            if k - x <= self.s || u >= self.h_integral(k + 0.5) - self.h(k) {
+                return k as usize;
+            }
+        }
+    }
+}
+
+/// `(exp(x) - 1) / x` stable near zero.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `(exp(x) - 1) / x` stable near zero.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + 0.25 * x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_range() {
+        let d = ZipfDistribution::new(100, 1.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            assert!((1..=100).contains(&s));
+        }
+    }
+
+    #[test]
+    fn low_ranks_dominate() {
+        let d = ZipfDistribution::new(1000, 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = vec![0u32; 1001];
+        for _ in 0..50_000 {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        assert!(counts[1] > counts[10]);
+        assert!(counts[1] > counts[100] * 5);
+    }
+}
