@@ -40,9 +40,7 @@ impl ClientPequodTwip {
         self.meter.scan_with_reply(&range.first, &res.pairs);
         res.pairs
             .iter()
-            .map(|(k, _)| {
-                String::from_utf8_lossy(k.components().last().unwrap()).into_owned()
-            })
+            .map(|(k, _)| String::from_utf8_lossy(k.components().last().unwrap()).into_owned())
             .collect()
     }
 }
@@ -62,7 +60,8 @@ impl TwipBackend for ClientPequodTwip {
     }
 
     fn load_post(&mut self, poster: u32, time: u64, text: &str) {
-        self.engine.put(post_key(poster, time, false), text.to_string());
+        self.engine
+            .put(post_key(poster, time, false), text.to_string());
         // Client-managed timelines are materialized at load time too.
         let range = KeyRange::prefix(format!("rs|{}|", user_name(poster)));
         let followers: Vec<String> = self
@@ -145,7 +144,7 @@ impl TwipBackend for ClientPequodTwip {
         self.meter = RpcMeter::new();
     }
 
-    fn memory_bytes(&self) -> usize {
+    fn memory_bytes(&mut self) -> usize {
         self.engine.memory_bytes()
     }
 }

@@ -16,15 +16,22 @@
 //!
 //! All backends meter their logical RPCs through the real wire codec so
 //! relative RPC cost is comparable (see `pequod_workloads::rpc`).
+//!
+//! Each system additionally exposes a generic key-value implementation
+//! of the unified `pequod_core::Client` API ([`client`]), so the same
+//! command stream — and the same workload driver — runs against Pequod
+//! deployments and every baseline alike.
 
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod client_pequod;
 pub mod memcached_like;
 pub mod minidb;
 pub mod pg_twip;
 pub mod redis_like;
 
+pub use client::{MemcachedClient, MiniDbClient, RedisClient};
 pub use client_pequod::ClientPequodTwip;
 pub use memcached_like::MemcachedTwip;
 pub use minidb::MiniDb;

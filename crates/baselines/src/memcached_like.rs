@@ -193,7 +193,7 @@ impl TwipBackend for MemcachedTwip {
         self.meter = RpcMeter::new();
     }
 
-    fn memory_bytes(&self) -> usize {
+    fn memory_bytes(&mut self) -> usize {
         self.map.iter().map(|(k, v)| k.len() + v.len() + 48).sum()
     }
 }

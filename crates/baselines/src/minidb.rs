@@ -64,6 +64,8 @@ pub struct DbEngineStats {
     pub statements: u64,
     /// Rows inserted (including trigger cascades).
     pub rows_inserted: u64,
+    /// Rows deleted.
+    pub rows_deleted: u64,
     /// Rows read by selects.
     pub rows_read: u64,
     /// Trigger invocations.
@@ -152,7 +154,8 @@ impl MiniDb {
             );
             // WAL record.
             let wal_len: usize = row.iter().map(|v| v.wal_len()).sum::<usize>() + 16;
-            self.wal.extend(std::iter::repeat(0u8).take(wal_len.min(256)));
+            let grown = self.wal.len() + wal_len.min(256);
+            self.wal.resize(grown, 0u8);
             if self.wal.len() > 1 << 20 {
                 self.wal.clear(); // "checkpoint": bounded buffer
             }
@@ -177,6 +180,65 @@ impl MiniDb {
             }
             self.stats.rows_inserted += 1;
         }
+    }
+
+    /// Deletes every row whose indexed columns equal `key`, maintaining
+    /// all indexes and appending WAL records; returns rows removed. No
+    /// delete triggers fire (the paper's trigger schema is insert-only).
+    pub fn delete_eq(&mut self, table: &str, cols: &[usize], key: &[Val]) -> usize {
+        let t = self.plan(table);
+        let index = self.tables[t]
+            .indexes
+            .iter()
+            .find(|i| i.cols == cols)
+            .unwrap_or_else(|| panic!("no index on {table} {cols:?}"));
+        let mut rids: Vec<usize> = index.map.get(key).cloned().unwrap_or_default();
+        rids.sort_unstable();
+        rids.dedup();
+        // Highest row id first so swap_remove never moves a doomed row.
+        for &rid in rids.iter().rev() {
+            self.remove_row(t, rid);
+        }
+        rids.len()
+    }
+
+    /// Removes one heap row by id, patching every index (the row that
+    /// `swap_remove` relocates gets its index entries re-pointed).
+    fn remove_row(&mut self, t: usize, rid: usize) {
+        let row = self.tables[t].rows[rid].clone();
+        let last = self.tables[t].rows.len() - 1;
+        for index in &mut self.tables[t].indexes {
+            let key: Vec<Val> = index.cols.iter().map(|&c| row[c].clone()).collect();
+            if let Some(v) = index.map.get_mut(&key) {
+                v.retain(|&r| r != rid);
+                if v.is_empty() {
+                    index.map.remove(&key);
+                }
+            }
+        }
+        self.tables[t].rows.swap_remove(rid);
+        if rid != last {
+            let moved = self.tables[t].rows[rid].clone();
+            for index in &mut self.tables[t].indexes {
+                let key: Vec<Val> = index.cols.iter().map(|&c| moved[c].clone()).collect();
+                if let Some(v) = index.map.get_mut(&key) {
+                    for r in v.iter_mut() {
+                        if *r == last {
+                            *r = rid;
+                        }
+                    }
+                }
+            }
+        }
+        // WAL record for the delete (tuple id + header).
+        let wal_len = 16;
+        let grown = self.wal.len() + wal_len;
+        self.wal.resize(grown, 0u8);
+        if self.wal.len() > 1 << 20 {
+            self.wal.clear();
+        }
+        self.stats.wal_bytes += wal_len as u64;
+        self.stats.rows_deleted += 1;
     }
 
     /// Index equality lookup: all rows whose indexed columns equal `key`.
@@ -215,14 +277,69 @@ impl MiniDb {
         out
     }
 
-    /// Statement wrapper for reads (planner overhead + row accounting).
-    pub fn query_range(
+    /// Index scan with an optional upper bound (`None` scans to the end
+    /// of the index). Statement wrapper: planner overhead + row
+    /// accounting.
+    pub fn query_scan(
         &mut self,
         table: &str,
         cols: &[usize],
         lo: &[Val],
-        hi: &[Val],
+        hi: Option<&[Val]>,
     ) -> Vec<Row> {
+        let t = self.plan(table);
+        let td = &self.tables[t];
+        let index = td
+            .indexes
+            .iter()
+            .find(|i| i.cols == cols)
+            .unwrap_or_else(|| panic!("no index on {table} {cols:?}"));
+        let upper = match hi {
+            Some(h) => std::ops::Bound::Excluded(h.to_vec()),
+            None => std::ops::Bound::Unbounded,
+        };
+        let mut out = Vec::new();
+        for (_, rids) in index
+            .map
+            .range((std::ops::Bound::Included(lo.to_vec()), upper))
+        {
+            for &r in rids {
+                out.push(td.rows[r].clone());
+            }
+        }
+        self.stats.rows_read += out.len() as u64;
+        out
+    }
+
+    /// Server-side `SELECT COUNT(*)` over an index range: rows are
+    /// counted in the engine, never copied out.
+    pub fn count_range(
+        &mut self,
+        table: &str,
+        cols: &[usize],
+        lo: &[Val],
+        hi: Option<&[Val]>,
+    ) -> usize {
+        let t = self.plan(table);
+        let td = &self.tables[t];
+        let index = td
+            .indexes
+            .iter()
+            .find(|i| i.cols == cols)
+            .unwrap_or_else(|| panic!("no index on {table} {cols:?}"));
+        let upper = match hi {
+            Some(h) => std::ops::Bound::Excluded(h.to_vec()),
+            None => std::ops::Bound::Unbounded,
+        };
+        index
+            .map
+            .range((std::ops::Bound::Included(lo.to_vec()), upper))
+            .map(|(_, rids)| rids.len())
+            .sum()
+    }
+
+    /// Statement wrapper for reads (planner overhead + row accounting).
+    pub fn query_range(&mut self, table: &str, cols: &[usize], lo: &[Val], hi: &[Val]) -> Vec<Row> {
         self.plan(table);
         let rows: Vec<Row> = self
             .select_range(table, cols, lo, hi)
@@ -295,7 +412,7 @@ mod tests {
             "p",
             Box::new(|db, row| {
                 let poster = row[0].clone();
-                db.select_eq("s", &[1], &[poster.clone()])
+                db.select_eq("s", &[1], std::slice::from_ref(&poster))
                     .into_iter()
                     .map(|srow| {
                         (

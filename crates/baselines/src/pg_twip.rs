@@ -174,13 +174,8 @@ impl TwipBackend for PostgresTwip {
         // the trigger still fires (p is empty, so no cascades).
         for u in 0..graph.users() {
             for &p in graph.followees(u) {
-                self.db.insert(
-                    "s",
-                    vec![
-                        Val::Str(user_name(u)),
-                        Val::Str(user_name(p)),
-                    ],
-                );
+                self.db
+                    .insert("s", vec![Val::Str(user_name(u)), Val::Str(user_name(p))]);
             }
         }
     }
@@ -265,7 +260,7 @@ impl TwipBackend for PostgresTwip {
         self.meter = RpcMeter::new();
     }
 
-    fn memory_bytes(&self) -> usize {
+    fn memory_bytes(&mut self) -> usize {
         self.db.memory_bytes()
     }
 }

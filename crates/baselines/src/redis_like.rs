@@ -203,7 +203,7 @@ impl TwipBackend for RedisTwip {
         self.meter = RpcMeter::new();
     }
 
-    fn memory_bytes(&self) -> usize {
+    fn memory_bytes(&mut self) -> usize {
         let mut bytes = 0;
         for (k, v) in &self.map {
             bytes += k.len() + 48;

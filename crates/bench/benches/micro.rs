@@ -33,8 +33,7 @@ fn store_ops(c: &mut Criterion) {
                 i = (i * 16807 + 7) % 200_000;
                 let u = i / 100;
                 let t = i % 100;
-                black_box(store.get(&Key::from(format!("t|u{u:07}|{t:010}|p"))))
-                    .is_some()
+                black_box(store.get(&Key::from(format!("t|u{u:07}|{t:010}|p")))).is_some()
             })
         });
         group.bench_function(BenchmarkId::new("scan50", name), |b| {
@@ -144,7 +143,8 @@ fn engine_ops(c: &mut Criterion) {
     });
     group.bench_function("karma_vote", |b| {
         let mut e = Engine::new(EngineConfig::default());
-        e.add_join_text("karma|<a> = count vote|<a>|<id>|<v>").unwrap();
+        e.add_join_text("karma|<a> = count vote|<a>|<id>|<v>")
+            .unwrap();
         e.put("vote|kat|0|v", "1");
         e.scan(&KeyRange::prefix("karma|"));
         let mut i = 0u64;

@@ -12,17 +12,37 @@
 //!   applying them at read time beats eager application under
 //!   subscription churn.
 
-use pequod_bench::{mib, print_table, ratio, secs, twip_graph, Scale};
-use pequod_core::{Engine, EngineConfig};
+use pequod_bench::{arg_value, mib, pequod_client, print_table, ratio, secs, twip_graph, Scale};
+use pequod_core::{Client, EngineConfig};
 use pequod_store::StoreConfig;
-use pequod_workloads::newp::{run_newp, NewpConfig, PequodNewp};
-use pequod_workloads::twip::{run_twip, PequodTwip, TwipBackend, TwipMix, TwipRunStats, TwipWorkload};
+use pequod_workloads::newp::{run_newp, ClientNewp, NewpConfig};
+use pequod_workloads::twip::{
+    run_twip, ClientTwip, TwipBackend, TwipMix, TwipRunStats, TwipStrategy, TwipWorkload,
+};
 use pequod_workloads::SocialGraph;
 
-fn twip_run(graph: &SocialGraph, workload: &TwipWorkload, cfg: EngineConfig) -> TwipRunStats {
-    let mut backend = PequodTwip::new(Engine::new(cfg));
+/// Builds the selected deployment behind the unified client API
+/// (`--backend {engine,writearound,cluster}`; engine by default).
+fn backend_client(cfg: EngineConfig, tables: &[&str]) -> Box<dyn Client> {
+    let backend = arg_value("--backend").unwrap_or_else(|| "engine".to_string());
+    pequod_client(&backend, cfg, tables).unwrap_or_else(|| {
+        eprintln!("unknown backend {backend:?}; choices: engine, writearound, cluster");
+        std::process::exit(2);
+    })
+}
+
+fn twip_backend(cfg: EngineConfig) -> ClientTwip {
+    let mut backend = ClientTwip::new(
+        backend_client(cfg, &["p|", "s|"]),
+        TwipStrategy::ServerJoins,
+    );
     // Ablations isolate engine internals: no simulated network cost.
     backend.set_rpc_cost(0, 0);
+    backend
+}
+
+fn twip_run(graph: &SocialGraph, workload: &TwipWorkload, cfg: EngineConfig) -> TwipRunStats {
+    let mut backend = twip_backend(cfg);
     run_twip(&mut backend, graph, workload, 3000)
 }
 
@@ -44,10 +64,16 @@ fn main() {
         &graph,
         &workload,
         EngineConfig::with_store(
-            StoreConfig::flat().with_subtable("t|", 2).with_subtable("p|", 2),
+            StoreConfig::flat()
+                .with_subtable("t|", 2)
+                .with_subtable("p|", 2),
         ),
     );
-    let flat = twip_run(&graph, &workload, EngineConfig::with_store(StoreConfig::flat()));
+    let flat = twip_run(
+        &graph,
+        &workload,
+        EngineConfig::with_store(StoreConfig::flat()),
+    );
     rows.push(vec![
         "A1 subtables (§4.1)".into(),
         format!("{} / {}", secs(flat.elapsed), secs(split.elapsed)),
@@ -63,8 +89,10 @@ fn main() {
 
     // A2: output hints on/off (Twip + count-heavy Newp votes).
     let hints_on = twip_run(&graph, &workload, EngineConfig::default());
-    let mut cfg = EngineConfig::default();
-    cfg.output_hints = false;
+    let cfg = EngineConfig {
+        output_hints: false,
+        ..EngineConfig::default()
+    };
     let hints_off = twip_run(&graph, &workload, cfg);
     rows.push(vec![
         "A2 output hints, Twip (§4.2)".into(),
@@ -83,12 +111,15 @@ fn main() {
         comment_rate: 0.01,
         seed: 0xab19,
     };
-    let mut b = PequodNewp::new(Engine::new(EngineConfig::default()), true);
+    let newp_tables: &[&str] = &["article|", "comment|", "vote|"];
+    let mut b = ClientNewp::new(backend_client(EngineConfig::default(), newp_tables), true);
     b.set_rpc_cost(0, 0);
     let nh_on = run_newp(&mut b, &newp_cfg);
-    let mut cfg = EngineConfig::default();
-    cfg.output_hints = false;
-    let mut b = PequodNewp::new(Engine::new(cfg), true);
+    let cfg = EngineConfig {
+        output_hints: false,
+        ..EngineConfig::default()
+    };
+    let mut b = ClientNewp::new(backend_client(cfg, newp_tables), true);
     b.set_rpc_cost(0, 0);
     let nh_off = run_newp(&mut b, &newp_cfg);
     rows.push(vec![
@@ -101,8 +132,10 @@ fn main() {
 
     // A3: value sharing on/off (memory).
     let share_on = twip_run(&graph, &workload, EngineConfig::default());
-    let mut cfg = EngineConfig::default();
-    cfg.value_sharing = false;
+    let cfg = EngineConfig {
+        value_sharing: false,
+        ..EngineConfig::default()
+    };
     let share_off = twip_run(&graph, &workload, cfg);
     rows.push(vec![
         "A3 value sharing (§4.3)".into(),
@@ -120,10 +153,11 @@ fn main() {
     // subscription-change cost off the write path onto later reads
     // (§3.2). Measure the write path and the read path separately.
     let m1 = |lazy: bool| -> (f64, f64) {
-        let mut cfg = EngineConfig::default();
-        cfg.lazy_checks = lazy;
-        let mut backend = PequodTwip::new(Engine::new(cfg));
-        backend.set_rpc_cost(0, 0);
+        let cfg = EngineConfig {
+            lazy_checks: lazy,
+            ..EngineConfig::default()
+        };
+        let mut backend = twip_backend(cfg);
         backend.load_graph(&graph);
         for t in 0..3000u64 {
             backend.load_post((t % users as u64) as u32, t, "warm tweet");

@@ -16,11 +16,12 @@
 //! wall clock of the whole simulation is not the measurement.
 
 use pequod_bench::{print_table, twip_graph, Scale};
-use pequod_core::{Engine, EngineConfig};
+use pequod_core::{Client, Engine, EngineConfig};
 use pequod_net::{
-    ComponentHashPartition, Message, Partition, ServerId, ServerNode, SimCluster, SimConfig,
+    ClusterClient, ComponentHashPartition, Message, Partition, ServerId, ServerNode, SimCluster,
+    SimConfig,
 };
-use pequod_store::{Key, KeyRange, StoreConfig};
+use pequod_store::{Key, KeyRange, StoreConfig, Value};
 use pequod_workloads::twip::{post_key, sub_key, user_name, TIMELINE_JOIN};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -35,6 +36,19 @@ struct Fig10Partition {
 impl Partition for Fig10Partition {
     fn home_of(&self, _key: &Key) -> ServerId {
         self.base
+    }
+}
+
+/// Client-side read routing (§2.4): all of user `u`'s timeline checks
+/// go to compute server `1 + S(u)`.
+struct ComputeRouter {
+    user_router: ComponentHashPartition,
+}
+
+impl Partition for ComputeRouter {
+    fn home_of(&self, key: &Key) -> ServerId {
+        let comp = key.components().nth(1).unwrap_or(key.as_bytes());
+        ServerId(1 + self.user_router.server_for_component(comp).0)
     }
 }
 
@@ -63,7 +77,8 @@ fn run_cluster(compute_servers: u32, users: u32, scale: &Scale) -> (f64, f64, u6
         ));
     }
     let mut cluster = SimCluster::new(SimConfig::default(), nodes);
-    // The timeline join runs on compute servers only.
+    // The timeline join runs on compute servers only (so no broadcast
+    // AddJoin through the client, which would install it everywhere).
     for i in 1..=compute_servers {
         cluster.request(
             0,
@@ -76,70 +91,76 @@ fn run_cluster(compute_servers: u32, users: u32, scale: &Scale) -> (f64, f64, u6
         cluster.run_until_quiet();
         cluster.take_replies();
     }
+    // Everything else goes through the unified client API: writes are
+    // routed to the backing store by the partition function, timeline
+    // reads to each user's compute server by the read router.
+    let mut client =
+        ClusterClient::new(cluster, part).with_read_router(Arc::new(ComputeRouter { user_router }));
     // Load the graph and initial posts at the backing store.
+    let one = Value::from_static(b"1");
     let mut time = 1u64;
     for u in 0..users {
         for &p in graph.followees(u) {
-            cluster.put(ServerId(0), sub_key(u, p), "1");
+            client.put(&Key::from(sub_key(u, p)), &one);
         }
     }
     let initial_posts = scale.count(users as u64 / 2);
     let mut rng = StdRng::seed_from_u64(0x10ad);
+    let warm_tweet = Value::from_static(b"warm tweet");
     for _ in 0..initial_posts {
         let poster = rng.gen_range(0..users);
-        cluster.put(ServerId(0), post_key(poster, time, false), "warm tweet");
+        client.put(&Key::from(post_key(poster, time, false)), &warm_tweet);
         time += 1;
     }
     // Warm: log every user into their compute server (installs
     // subscriptions, base data, updaters — §5.5).
-    let compute_of = |u: u32| ServerId(1 + user_router.server_for_component(user_name(u).as_bytes()).0);
     for u in 0..users {
-        cluster.scan(compute_of(u), KeyRange::prefix(format!("t|{}|", user_name(u))));
+        client.scan(&KeyRange::prefix(format!("t|{}|", user_name(u))));
     }
     // Reset CPU accounting after warm-up by reading a baseline.
     let warm_busy: Vec<std::time::Duration> = (1..=compute_servers)
-        .map(|i| cluster.busy_time(ServerId(i)))
+        .map(|i| client.cluster().busy_time(ServerId(i)))
         .collect();
 
     // Measured phase: checks + subscriptions + posts in the §5.1 ratio
     // (100 checks : 10 subscriptions : 1 post).
     let checks = scale.count(users as u64 * 20);
+    let new_tweet = Value::from_static(b"new tweet");
     let mut executed_checks = 0u64;
-    for i in 0..checks {
+    for _ in 0..checks {
         let r = rng.gen_range(0..111u32);
         if r < 100 {
             let u = rng.gen_range(0..users);
-            cluster.scan(
-                compute_of(u),
-                KeyRange::new(
-                    format!("t|{}|{:010}", user_name(u), time.saturating_sub(50)),
-                    Key::from(format!("t|{}|", user_name(u))).prefix_end().unwrap(),
-                ),
-            );
+            client.scan(&KeyRange::new(
+                format!("t|{}|{:010}", user_name(u), time.saturating_sub(50)),
+                Key::from(format!("t|{}|", user_name(u)))
+                    .prefix_end()
+                    .unwrap(),
+            ));
             executed_checks += 1;
         } else if r < 110 {
             let u = rng.gen_range(0..users);
             let p = rng.gen_range(0..users);
-            cluster.put(ServerId(0), sub_key(u, p), "1");
+            client.put(&Key::from(sub_key(u, p)), &one);
         } else {
             let poster = rng.gen_range(0..users);
-            cluster.put(ServerId(0), post_key(poster, time, false), "new tweet");
+            client.put(&Key::from(post_key(poster, time, false)), &new_tweet);
             time += 1;
         }
-        let _ = i;
     }
-    cluster.run_until_quiet();
+    client.cluster_mut().run_until_quiet();
 
     // Throughput = checks / busiest compute server CPU second.
     let max_busy = (1..=compute_servers)
-        .map(|i| cluster.busy_time(ServerId(i)) - warm_busy[(i - 1) as usize])
+        .map(|i| client.cluster().busy_time(ServerId(i)) - warm_busy[(i - 1) as usize])
         .max()
         .unwrap_or_default();
     let qps = executed_checks as f64 / max_busy.as_secs_f64().max(1e-9);
-    let sub_frac = cluster.traffic.subscription_bytes as f64
-        / (cluster.traffic.subscription_bytes + cluster.traffic.client_bytes) as f64;
+    let traffic = client.cluster().traffic;
+    let sub_frac = traffic.subscription_bytes as f64
+        / (traffic.subscription_bytes + traffic.client_bytes) as f64;
     let compute_memory: u64 = (1..=compute_servers)
-        .map(|i| cluster.node(ServerId(i)).engine.memory_bytes() as u64)
+        .map(|i| client.cluster().node(ServerId(i)).engine.memory_bytes() as u64)
         .sum();
     (qps, sub_frac, compute_memory)
 }

@@ -15,21 +15,44 @@
 //! 1% posts, 70% active users) at laptop scale and report the same
 //! table. Expect the ordering and rough factors to reproduce, not the
 //! absolute seconds.
+//!
+//! Two modes:
+//!
+//! * **default** — the classic comparison: each system runs its
+//!   app-specific backend (sorted-set timelines on Redis, string
+//!   appends on memcached, triggers on the relational engine), with
+//!   system-specific costs modelled in.
+//! * **`--backend {engine,writearound,cluster,redis,memcached,minidb}`**
+//!   (or `--backend all`) — the unified-API comparison: every choice is
+//!   driven through the identical `pequod_core::Client` command stream
+//!   (`ClientTwip`). Pequod deployments serve timelines with cache
+//!   joins; join-less stores fall back to client-side fan-out. Same
+//!   driver, same commands, same meter — apples to apples.
 
 use pequod_baselines::{ClientPequodTwip, MemcachedTwip, PostgresTwip, RedisTwip};
-use pequod_bench::{print_table, ratio, secs, twip_graph, Scale};
+use pequod_bench::{
+    arg_value, print_table, ratio, secs, twip_client, twip_graph, Scale, TWIP_BACKENDS,
+};
 use pequod_core::{Engine, EngineConfig};
 use pequod_store::StoreConfig;
-use pequod_workloads::twip::{run_twip, PequodTwip, TwipBackend, TwipMix, TwipRunStats, TwipWorkload};
+use pequod_workloads::twip::{
+    run_twip, ClientTwip, PequodTwip, TwipBackend, TwipMix, TwipRunStats, TwipWorkload,
+};
+use pequod_workloads::SocialGraph;
 
-fn main() {
-    let scale = Scale::from_args();
+struct Experiment {
+    graph: SocialGraph,
+    workload: TwipWorkload,
+    initial_posts: u64,
+}
+
+fn experiment(scale: &Scale) -> Experiment {
     let users = scale.count(3000) as u32;
     let graph = twip_graph(users, 0x5e7);
     let mix = TwipMix {
         active_fraction: 0.7,
         checks_per_user: 15,
-        seed: 0xf16_7,
+        seed: 0xf167,
         ..TwipMix::default()
     };
     let workload = TwipWorkload::generate(&graph, &mix);
@@ -51,48 +74,23 @@ fn main() {
         h[2],
         h[3]
     );
+    Experiment {
+        graph,
+        workload,
+        initial_posts,
+    }
+}
 
-    let pequod_engine = || {
-        Engine::new(EngineConfig::with_store(
-            StoreConfig::flat().with_subtable("t|", 2).with_subtable("p|", 2),
-        ))
-    };
+fn engine_config() -> EngineConfig {
+    EngineConfig::with_store(
+        StoreConfig::flat()
+            .with_subtable("t|", 2)
+            .with_subtable("p|", 2),
+    )
+}
 
-    let mut results: Vec<(String, TwipRunStats)> = Vec::new();
-    {
-        let mut b = PequodTwip::new(pequod_engine());
-        let s = run_twip(&mut b, &graph, &workload, initial_posts);
-        results.push((b.name().to_string(), s));
-    }
-    {
-        let mut b = RedisTwip::new();
-        let s = run_twip(&mut b, &graph, &workload, initial_posts);
-        results.push((b.name().to_string(), s));
-    }
-    {
-        let mut b = ClientPequodTwip::new(pequod_engine());
-        let s = run_twip(&mut b, &graph, &workload, initial_posts);
-        results.push((b.name().to_string(), s));
-    }
-    {
-        let mut b = MemcachedTwip::new();
-        let s = run_twip(&mut b, &graph, &workload, initial_posts);
-        results.push((b.name().to_string(), s));
-    }
-    {
-        let mut b = PostgresTwip::new();
-        let s = run_twip(&mut b, &graph, &workload, initial_posts);
-        results.push((b.name().to_string(), s));
-    }
-
+fn results_table(title: &str, results: &[(String, TwipRunStats)], paper: &[(&str, f64)]) {
     let base = results[0].1.elapsed;
-    let paper = [
-        ("pequod", 1.00),
-        ("redis", 1.33),
-        ("client-pequod", 1.64),
-        ("memcached", 3.98),
-        ("postgresql", 9.55),
-    ];
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|(name, s)| {
@@ -112,8 +110,92 @@ fn main() {
         })
         .collect();
     print_table(
-        "Figure 7 — Twip system comparison (smaller is better)",
-        &["system", "runtime (s)", "vs pequod", "paper", "rpcs", "rpc MiB"],
+        title,
+        &[
+            "system",
+            "runtime (s)",
+            "vs first",
+            "paper",
+            "rpcs",
+            "rpc MiB",
+        ],
         &rows,
     );
+}
+
+/// The classic comparison: each system's app-specific backend.
+fn run_classic(exp: &Experiment) {
+    let mut results: Vec<(String, TwipRunStats)> = Vec::new();
+    {
+        let mut b = PequodTwip::new(Engine::new(engine_config()));
+        let s = run_twip(&mut b, &exp.graph, &exp.workload, exp.initial_posts);
+        results.push((b.name().to_string(), s));
+    }
+    {
+        let mut b = RedisTwip::new();
+        let s = run_twip(&mut b, &exp.graph, &exp.workload, exp.initial_posts);
+        results.push((b.name().to_string(), s));
+    }
+    {
+        let mut b = ClientPequodTwip::new(Engine::new(engine_config()));
+        let s = run_twip(&mut b, &exp.graph, &exp.workload, exp.initial_posts);
+        results.push((b.name().to_string(), s));
+    }
+    {
+        let mut b = MemcachedTwip::new();
+        let s = run_twip(&mut b, &exp.graph, &exp.workload, exp.initial_posts);
+        results.push((b.name().to_string(), s));
+    }
+    {
+        let mut b = PostgresTwip::new();
+        let s = run_twip(&mut b, &exp.graph, &exp.workload, exp.initial_posts);
+        results.push((b.name().to_string(), s));
+    }
+    let paper = [
+        ("pequod", 1.00),
+        ("redis", 1.33),
+        ("client-pequod", 1.64),
+        ("memcached", 3.98),
+        ("postgresql", 9.55),
+    ];
+    results_table(
+        "Figure 7 — Twip system comparison (smaller is better)",
+        &results,
+        &paper,
+    );
+}
+
+/// One unified-API run: the named backend behind the shared driver.
+fn run_unified_one(name: &str, exp: &Experiment) -> (String, TwipRunStats) {
+    let (client, strategy) = twip_client(name, engine_config()).unwrap_or_else(|| {
+        eprintln!("unknown backend {name:?}; choices: {TWIP_BACKENDS:?} or all");
+        std::process::exit(2);
+    });
+    let mut b = ClientTwip::new(client, strategy);
+    let s = run_twip(&mut b, &exp.graph, &exp.workload, exp.initial_posts);
+    (name.to_string(), s)
+}
+
+fn run_unified(backend: &str, exp: &Experiment) {
+    let names: Vec<&str> = if backend == "all" {
+        TWIP_BACKENDS.to_vec()
+    } else {
+        vec![backend]
+    };
+    let results: Vec<(String, TwipRunStats)> =
+        names.iter().map(|n| run_unified_one(n, exp)).collect();
+    results_table(
+        "Figure 7 (unified client API) — same command stream on every backend",
+        &results,
+        &[],
+    );
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let exp = experiment(&scale);
+    match arg_value("--backend") {
+        Some(backend) => run_unified(&backend, &exp),
+        None => run_classic(&exp),
+    }
 }

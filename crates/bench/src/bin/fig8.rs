@@ -11,10 +11,10 @@
 //! Output: one row per active-user percentage with the runtime of the
 //! no/full/dynamic strategies (log-scale shape in the paper).
 
-use pequod_bench::{print_table, secs, twip_graph, Scale};
-use pequod_core::{Engine, EngineConfig, MaterializationMode};
+use pequod_bench::{arg_value, pequod_client, print_table, secs, twip_graph, Scale};
+use pequod_core::{EngineConfig, MaterializationMode};
 use pequod_store::StoreConfig;
-use pequod_workloads::twip::{run_twip, PequodTwip, TwipOp, TwipWorkload};
+use pequod_workloads::twip::{run_twip, ClientTwip, TwipOp, TwipStrategy, TwipWorkload};
 use pequod_workloads::SocialGraph;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -66,6 +66,10 @@ fn fig8_workload(graph: &SocialGraph, active_pct: u32, posts: u64, seed: u64) ->
 
 fn main() {
     let scale = Scale::from_args();
+    // The workload is driven through the unified client API, so the
+    // materialization comparison runs against any join-capable
+    // deployment: `--backend {engine,writearound,cluster}`.
+    let backend = arg_value("--backend").unwrap_or_else(|| "engine".to_string());
     let users = scale.count(1200) as u32;
     let posts = scale.count(1800);
     let graph = twip_graph(users, 0xf18);
@@ -83,11 +87,15 @@ fn main() {
         for (_, mode) in &strategies {
             let mut cfg = EngineConfig::with_store(StoreConfig::flat().with_subtable("t|", 2));
             cfg.materialization = *mode;
-            let mut backend = PequodTwip::new(Engine::new(cfg));
+            let client = pequod_client(&backend, cfg, &["p|", "s|"]).unwrap_or_else(|| {
+                eprintln!("unknown backend {backend:?}; choices: engine, writearound, cluster");
+                std::process::exit(2);
+            });
+            let mut driver = ClientTwip::new(client, TwipStrategy::ServerJoins);
             // No untimed initial posts: the paper's 1M posts are part of
             // the measured workload, so materialization work (eager for
             // full, on-first-read for dynamic) lands in the timed phase.
-            let stats = run_twip(&mut backend, &graph, &workload, 0);
+            let stats = run_twip(&mut driver, &graph, &workload, 0);
             runtimes.push(stats.elapsed);
             row.push(secs(stats.elapsed));
         }
@@ -102,7 +110,9 @@ fn main() {
         rows.push(row);
     }
     print_table(
-        "Figure 8 — runtime (s) by materialization strategy vs % active users",
+        &format!(
+            "Figure 8 — runtime (s) by materialization strategy vs % active users [{backend}]"
+        ),
         &["active", "none", "full", "dynamic", "best"],
         &rows,
     );

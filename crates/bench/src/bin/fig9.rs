@@ -7,12 +7,27 @@
 //! cost of precomputing page entries on every vote outweighs saving
 //! read RPCs.
 
-use pequod_bench::{print_table, secs, Scale};
-use pequod_core::{Engine, EngineConfig};
-use pequod_workloads::newp::{run_newp, NewpConfig, PequodNewp};
+use pequod_bench::{arg_value, pequod_client, print_table, secs, Scale};
+use pequod_core::EngineConfig;
+use pequod_workloads::newp::{run_newp, ClientNewp, NewpConfig};
+
+/// The Newp base tables (partitioned/database-resident in non-engine
+/// deployments).
+const NEWP_TABLES: &[&str] = &["article|", "comment|", "vote|"];
 
 fn main() {
     let scale = Scale::from_args();
+    // Driven through the unified client API: `--backend
+    // {engine,writearound,cluster}` selects the deployment.
+    let backend = arg_value("--backend").unwrap_or_else(|| "engine".to_string());
+    let make = |interleaved: bool| -> ClientNewp {
+        let client =
+            pequod_client(&backend, EngineConfig::default(), NEWP_TABLES).unwrap_or_else(|| {
+                eprintln!("unknown backend {backend:?}; choices: engine, writearound, cluster");
+                std::process::exit(2);
+            });
+        ClientNewp::new(client, interleaved)
+    };
     let base = NewpConfig {
         articles: scale.count(2000) as u32,
         users: scale.count(1000) as u32,
@@ -29,9 +44,9 @@ fn main() {
             vote_rate: vote_pct as f64 / 100.0,
             ..base.clone()
         };
-        let mut inter = PequodNewp::new(Engine::new(EngineConfig::default()), true);
+        let mut inter = make(true);
         let s_inter = run_newp(&mut inter, &cfg);
-        let mut sep = PequodNewp::new(Engine::new(EngineConfig::default()), false);
+        let mut sep = make(false);
         let s_sep = run_newp(&mut sep, &cfg);
         let winner = if s_inter.elapsed < s_sep.elapsed {
             "interleaved"
@@ -48,7 +63,9 @@ fn main() {
         ]);
     }
     print_table(
-        "Figure 9 — Newp runtime (s): non-interleaved vs interleaved page joins",
+        &format!(
+            "Figure 9 — Newp runtime (s): non-interleaved vs interleaved page joins [{backend}]"
+        ),
         &[
             "vote rate",
             "separate (s)",

@@ -16,7 +16,14 @@
 
 #![warn(missing_docs)]
 
-use pequod_workloads::{GraphConfig, SocialGraph};
+use pequod_baselines::{MemcachedClient, MiniDbClient, RedisClient};
+use pequod_core::{Client, Engine, EngineConfig};
+use pequod_db::WriteAround;
+use pequod_net::{
+    ClusterClient, ComponentHashPartition, ServerId, ServerNode, SimCluster, SimConfig,
+};
+use pequod_workloads::{GraphConfig, SocialGraph, TwipStrategy};
+use std::sync::Arc;
 
 /// Harness scale parsed from the command line.
 #[derive(Clone, Copy, Debug)]
@@ -44,6 +51,76 @@ impl Scale {
     pub fn count(&self, base: u64) -> u64 {
         ((base as f64) * self.factor).round().max(1.0) as u64
     }
+}
+
+/// Returns the value following `flag` on the command line, if present.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Every backend the unified-API Twip comparison accepts.
+pub const TWIP_BACKENDS: &[&str] = &[
+    "engine",
+    "writearound",
+    "cluster",
+    "redis",
+    "memcached",
+    "minidb",
+];
+
+/// Number of servers in `--backend cluster` deployments.
+const CLUSTER_SERVERS: u32 = 2;
+
+/// Builds a join-capable Pequod deployment as a unified-API backend.
+///
+/// * `engine` — one in-process [`Engine`].
+/// * `writearound` — an [`Engine`] in front of a database; the listed
+///   `tables` live in the database.
+/// * `cluster` — a simulated deployment of [`CLUSTER_SERVERS`] servers
+///   with the listed `tables` partitioned by hashing the second key
+///   component (user/author), so one user's data co-locates.
+///
+/// Returns `None` for unknown names (the join-less baselines are built
+/// by [`twip_client`]).
+pub fn pequod_client(name: &str, cfg: EngineConfig, tables: &[&str]) -> Option<Box<dyn Client>> {
+    match name {
+        "engine" => Some(Box::new(Engine::new(cfg))),
+        "writearound" => Some(Box::new(WriteAround::new(Engine::new(cfg), tables))),
+        "cluster" => {
+            let part = Arc::new(ComponentHashPartition {
+                component: 1,
+                servers: CLUSTER_SERVERS,
+            });
+            let nodes = (0..CLUSTER_SERVERS)
+                .map(|i| {
+                    ServerNode::new(ServerId(i), Engine::new(cfg.clone()), part.clone(), tables)
+                })
+                .collect();
+            let cluster = SimCluster::new(SimConfig::default(), nodes);
+            Some(Box::new(ClusterClient::new(cluster, part)))
+        }
+        _ => None,
+    }
+}
+
+/// Builds any `--backend` choice for the Twip experiment, paired with
+/// the timeline-maintenance strategy it supports: Pequod deployments
+/// get server-side joins, the baselines get client-side fan-out.
+pub fn twip_client(name: &str, cfg: EngineConfig) -> Option<(Box<dyn Client>, TwipStrategy)> {
+    if let Some(client) = pequod_client(name, cfg, &["p|", "s|"]) {
+        return Some((client, TwipStrategy::ServerJoins));
+    }
+    let client: Box<dyn Client> = match name {
+        "redis" => Box::new(RedisClient::new()),
+        "memcached" => Box::new(MemcachedClient::new()),
+        "minidb" => Box::new(MiniDbClient::new()),
+        _ => return None,
+    };
+    Some((client, TwipStrategy::ClientFanout))
 }
 
 /// The standard Twip experiment graph at a given user count: average
@@ -118,6 +195,15 @@ mod tests {
         let g = twip_graph(100, 1);
         assert_eq!(g.users(), 100);
         assert!(g.edges() > 100);
+    }
+
+    #[test]
+    fn backend_factory_builds_every_choice() {
+        for name in TWIP_BACKENDS {
+            let (client, _) = twip_client(name, EngineConfig::default()).expect("known backend");
+            assert_eq!(client.backend_name(), *name);
+        }
+        assert!(twip_client("nope", EngineConfig::default()).is_none());
     }
 
     #[test]

@@ -20,9 +20,7 @@ use crate::types::{EngineError, JoinId, JsId, WriteKind};
 use crate::updater::{OutputHint, UpdaterEntry, UpdaterIndex};
 use bytes::Bytes;
 use pequod_join::{JoinSpec, Operator};
-use pequod_store::{
-    IntervalId, Key, KeyRange, LruTracker, RangeSet, Store, StoreStats, Value,
-};
+use pequod_store::{IntervalId, Key, KeyRange, LruTracker, RangeSet, Store, StoreStats, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -124,9 +122,7 @@ impl Engine {
     /// Estimated resident memory: store data plus maintenance
     /// bookkeeping (updaters and join status ranges).
     pub fn memory_bytes(&self) -> usize {
-        self.store.memory_bytes()
-            + self.updaters.approx_bytes()
-            + self.materialized_ranges() * 96
+        self.store.memory_bytes() + self.updaters.approx_bytes() + self.materialized_ranges() * 96
     }
 
     // ------------------------------------------------------------------
@@ -366,7 +362,10 @@ impl Engine {
             }
             Operator::Copy => {
                 let mut slots = entry.slots.clone();
-                if !spec.sources[entry.source_idx].pattern.match_key(key, &mut slots) {
+                if !spec.sources[entry.source_idx]
+                    .pattern
+                    .match_key(key, &mut slots)
+                {
                     return;
                 }
                 match spec.output.expand(&slots) {
@@ -426,7 +425,10 @@ impl Engine {
     ) {
         let jidx = entry.join.0 as usize;
         let mut slots = entry.slots.clone();
-        if !spec.sources[entry.source_idx].pattern.match_key(key, &mut slots) {
+        if !spec.sources[entry.source_idx]
+            .pattern
+            .match_key(key, &mut slots)
+        {
             return;
         }
         let Some(out_key) = spec.output.expand(&slots) else {
@@ -444,9 +446,7 @@ impl Engine {
             (Operator::Count, WriteKind::Update) => 0,
             (Operator::Sum, WriteKind::Insert) => parse_num(new.unwrap()),
             (Operator::Sum, WriteKind::Remove) => -parse_num(old.unwrap()),
-            (Operator::Sum, WriteKind::Update) => {
-                parse_num(new.unwrap()) - parse_num(old.unwrap())
-            }
+            (Operator::Sum, WriteKind::Update) => parse_num(new.unwrap()) - parse_num(old.unwrap()),
             _ => unreachable!(),
         };
         if delta == 0 {
@@ -483,10 +483,7 @@ impl Engine {
                 e.hint = if remove_group {
                     None
                 } else {
-                    Some(OutputHint {
-                        out_key,
-                        num: newv,
-                    })
+                    Some(OutputHint { out_key, num: newv })
                 };
             }
         }
@@ -505,7 +502,10 @@ impl Engine {
     ) {
         let jidx = entry.join.0 as usize;
         let mut slots = entry.slots.clone();
-        if !spec.sources[entry.source_idx].pattern.match_key(key, &mut slots) {
+        if !spec.sources[entry.source_idx]
+            .pattern
+            .match_key(key, &mut slots)
+        {
             return;
         }
         let Some(out_key) = spec.output.expand(&slots) else {
@@ -570,7 +570,8 @@ impl Engine {
         js.state = JsState::Invalid;
         js.pending.clear();
         let nodes = std::mem::take(&mut js.updaters);
-        self.updaters.remove_for_js(&nodes, JoinId(jidx as u32), jsid);
+        self.updaters
+            .remove_for_js(&nodes, JoinId(jidx as u32), jsid);
         self.stats.complete_invalidations += 1;
     }
 }

@@ -6,12 +6,12 @@ use crate::aggregate::Accumulator;
 use crate::config::MaterializationMode;
 use crate::engine::{Engine, EvictUnit};
 use crate::status::{JsState, LoggedMod, Segment};
-use crate::types::{JoinId, JsId, ScanResult, WriteKind};
+use crate::types::{CountResult, JoinId, JsId, ScanResult, WriteKind};
 use crate::updater::UpdaterEntry;
 use bytes::Bytes;
 use pequod_join::{containing_range, JoinSpec, Maintenance, Operator, SlotSet};
 use pequod_store::{Key, KeyRange, Value};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// A planned updater installation recorded during forward execution
@@ -88,22 +88,81 @@ impl Engine {
         ScanResult { pairs, missing }
     }
 
+    /// Point read returning just the value. The key may be computed by a
+    /// join on demand; any missing-data report is ignored, so use
+    /// [`Engine::get_result`] when the engine serves remote or
+    /// database-backed tables.
+    pub fn get(&mut self, key: &Key) -> Option<Value> {
+        self.get_result(key).pairs.pop().map(|(_, v)| v)
+    }
+
     /// Point lookup through the same machinery as [`Engine::scan`]: the
-    /// key may be computed by a join on demand.
-    pub fn get(&mut self, key: &Key) -> ScanResult {
+    /// key may be computed by a join on demand, and missing base-data
+    /// ranges are reported for the caller to fetch.
+    pub fn get_result(&mut self, key: &Key) -> ScanResult {
         self.scan(&KeyRange::single(key.clone()))
     }
 
-    /// Convenience point lookup returning just the value (ignores
-    /// missing-data reports; use [`Engine::get`] when the engine serves
-    /// remote or database-backed tables).
-    pub fn get_value(&mut self, key: &Key) -> Option<Value> {
-        self.get(key).pairs.pop().map(|(_, v)| v)
+    /// Counts pairs in `range` after validating overlapping joins,
+    /// without materializing the pairs for the caller (ignores
+    /// missing-data reports; see [`Engine::count_result`]).
+    pub fn count(&mut self, range: &KeyRange) -> usize {
+        self.count_result(range).count
     }
 
-    /// Counts pairs in `range` after validating overlapping joins.
-    pub fn count(&mut self, range: &KeyRange) -> usize {
-        self.scan(range).pairs.len()
+    /// Server-side count (the `Count` command of the unified client
+    /// API): validates overlapping joins like [`Engine::scan`], then
+    /// folds matching pairs through an [`Accumulator::Count`] instead of
+    /// cloning them into a result vector. Reports missing base-data
+    /// ranges exactly as a scan would.
+    pub fn count_result(&mut self, range: &KeyRange) -> CountResult {
+        self.stats.scans += 1;
+        let mut missing = Vec::new();
+        if range.is_empty() {
+            return CountResult::default();
+        }
+        if !self.remote.is_empty() {
+            self.check_residency(range, &mut missing);
+        }
+        // Pull joins are never materialized: their outputs exist only as
+        // an overlay, so count distinct keys across overlay and store.
+        let mut overlay: Option<BTreeSet<Key>> = None;
+        for jidx in 0..self.joins.len() {
+            let spec = self.joins[jidx].clone();
+            let clip = spec.output_range().intersect(range);
+            if clip.is_empty() {
+                continue;
+            }
+            if self.is_pull(jidx) {
+                let set = overlay.get_or_insert_with(BTreeSet::new);
+                for (k, _) in self.exec_join(jidx, &clip, None, None, &mut missing) {
+                    set.insert(k);
+                }
+            } else {
+                self.validate_join(jidx, &clip, &mut missing);
+            }
+        }
+        let count = match overlay {
+            None => {
+                let mut acc = Accumulator::Count(0);
+                self.store.scan(range, |_, v| {
+                    acc.fold(v);
+                    true
+                });
+                match acc {
+                    Accumulator::Count(n) => n as usize,
+                    _ => unreachable!("count accumulator changed kind"),
+                }
+            }
+            Some(mut set) => {
+                self.store.scan(range, |k, _| {
+                    set.insert(k.clone());
+                    true
+                });
+                set.len()
+            }
+        };
+        CountResult { count, missing }
     }
 
     /// Validates (materializes) joins overlapping `range` without
@@ -122,7 +181,12 @@ impl Engine {
     // ------------------------------------------------------------------
 
     /// Ensures the join's output is materialized and valid over `clip`.
-    pub(crate) fn validate_join(&mut self, jidx: usize, clip: &KeyRange, missing: &mut Vec<KeyRange>) {
+    pub(crate) fn validate_join(
+        &mut self,
+        jidx: usize,
+        clip: &KeyRange,
+        missing: &mut Vec<KeyRange>,
+    ) {
         if self.config.materialization == MaterializationMode::None {
             return;
         }
@@ -168,8 +232,7 @@ impl Engine {
             }
             JsState::Valid => {
                 // Apply the pending log (lazy maintenance, §3.2).
-                let pending =
-                    std::mem::take(&mut self.status[jidx].get_mut(jsid).unwrap().pending);
+                let pending = std::mem::take(&mut self.status[jidx].get_mut(jsid).unwrap().pending);
                 for m in pending {
                     self.stats.mods_applied += 1;
                     self.apply_logged_mod(jidx, jsid, &m);
@@ -194,7 +257,12 @@ impl Engine {
     /// Computes a fresh output range and installs its status range and
     /// updaters (Figure 5). If base data was missing, nothing is
     /// installed: the restarted query recomputes after the fetch.
-    pub(crate) fn materialize_gap(&mut self, jidx: usize, gap: &KeyRange, missing: &mut Vec<KeyRange>) {
+    pub(crate) fn materialize_gap(
+        &mut self,
+        jidx: usize,
+        gap: &KeyRange,
+        missing: &mut Vec<KeyRange>,
+    ) {
         if gap.is_empty() {
             return;
         }
@@ -312,7 +380,10 @@ impl Engine {
         };
         self.exec_level(&mut ctx, 0, &mut slots, value0, missing);
         let ExecCtx {
-            out, aggs, plan: produced_plan, ..
+            out,
+            aggs,
+            plan: produced_plan,
+            ..
         } = ctx;
         if let Some(p) = plan {
             *p = produced_plan;
@@ -470,7 +541,10 @@ impl Engine {
         }
         let mut slots = spec.slots.empty_set();
         spec.output.derive_slots(&extent, &mut slots);
-        if !spec.sources[m.source_idx].pattern.match_key(&m.key, &mut slots) {
+        if !spec.sources[m.source_idx]
+            .pattern
+            .match_key(&m.key, &mut slots)
+        {
             return; // inconsistent with this range: not relevant
         }
         match m.kind {
@@ -577,7 +651,9 @@ impl Engine {
     pub fn evict_to(&mut self, target_bytes: usize) -> usize {
         let mut evicted = 0;
         while self.memory_bytes() > target_bytes {
-            let Some(unit) = self.lru.pop_lru() else { break };
+            let Some(unit) = self.lru.pop_lru() else {
+                break;
+            };
             match unit {
                 EvictUnit::Js(jidx, jsid) => {
                     self.teardown_jsrange(jidx as usize, jsid, true);

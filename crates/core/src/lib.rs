@@ -32,8 +32,13 @@
 //!
 //! # Structure
 //!
-//! * [`Engine`] — the public API: `get`/`put`/`remove`/`scan`/`add_join`,
-//!   plus remote-table residency ([`Engine::install_base`]) and eviction.
+//! * [`Engine`] — the public API: `get`/`put`/`remove`/`scan`/`count`/
+//!   `add_join`, plus remote-table residency ([`Engine::install_base`])
+//!   and eviction.
+//! * [`client`] — the unified [`Client`] trait: one batched
+//!   command/response surface implemented by the engine, the
+//!   write-around deployment, the cluster client, and the comparison
+//!   systems.
 //! * [`status`] — join status ranges: which output ranges are
 //!   materialized and whether they are valid (§3.2).
 //! * [`updater`] — the interval-tree index of incremental-maintenance
@@ -45,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod client;
 pub mod config;
 mod engine;
 mod exec;
@@ -52,6 +58,7 @@ pub mod status;
 pub mod types;
 pub mod updater;
 
+pub use client::{BackendStats, Client, Command, Response};
 pub use config::{EngineConfig, EngineStats, MaterializationMode};
 pub use engine::{Engine, EvictUnit};
-pub use types::{EngineError, JoinId, JsId, ScanResult, WriteKind};
+pub use types::{CountResult, EngineError, JoinId, JsId, ScanResult, WriteKind};

@@ -292,10 +292,7 @@ mod tests {
         let mut m = StatusMap::new();
         let a = m.insert(KeyRange::with_bound("m", UpperBound::Unbounded), 0);
         let segs = m.segments(&KeyRange::with_bound("a", UpperBound::Unbounded));
-        assert_eq!(
-            segs,
-            vec![Segment::Gap(r("a", "m")), Segment::Covered(a)]
-        );
+        assert_eq!(segs, vec![Segment::Gap(r("a", "m")), Segment::Covered(a)]);
     }
 
     #[test]

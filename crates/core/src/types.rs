@@ -56,6 +56,25 @@ impl ScanResult {
     }
 }
 
+/// The result of a server-side count: like [`ScanResult`] but carrying
+/// only the number of matching pairs, so counting a large range never
+/// materializes it for the client.
+#[derive(Clone, Debug, Default)]
+pub struct CountResult {
+    /// Number of pairs in the counted range.
+    pub count: usize,
+    /// Base-data ranges that must be fetched before the count is
+    /// trustworthy.
+    pub missing: Vec<KeyRange>,
+}
+
+impl CountResult {
+    /// True if no base data was missing: the count is the full answer.
+    pub fn is_complete(&self) -> bool {
+        self.missing.is_empty()
+    }
+}
+
 /// Errors surfaced by the engine API.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EngineError {

@@ -115,7 +115,7 @@ impl UpdaterIndex {
     pub fn table_is_quiet(&self, key: &Key) -> bool {
         self.per_table
             .get(&key.table_prefix())
-            .map_or(true, |&n| n == 0)
+            .is_none_or(|&n| n == 0)
     }
 
     /// Node ids whose range contains `key`.

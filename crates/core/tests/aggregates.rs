@@ -5,7 +5,7 @@ use pequod_core::{Engine, EngineConfig};
 use pequod_store::{Key, KeyRange};
 
 fn val(e: &mut Engine, key: &str) -> Option<String> {
-    e.get_value(&Key::from(key))
+    e.get(&Key::from(key))
         .map(|v| String::from_utf8_lossy(&v).into_owned())
 }
 
@@ -53,7 +53,8 @@ fn vote_value_update_does_not_change_count() {
 #[test]
 fn sum_tracks_inserts_updates_removes() {
     let mut e = Engine::new_default();
-    e.add_join_text("total|<user> = sum spend|<user>|<txn>").unwrap();
+    e.add_join_text("total|<user> = sum spend|<user>|<txn>")
+        .unwrap();
     e.put("spend|ann|t1", "10");
     e.put("spend|ann|t2", "5");
     assert_eq!(val(&mut e, "total|ann").as_deref(), Some("15"));
@@ -109,8 +110,10 @@ fn max_update_shrinking_extremum_recomputes() {
 #[test]
 fn output_hints_speed_up_counts() {
     let run = |hints: bool| -> (String, u64) {
-        let mut cfg = EngineConfig::default();
-        cfg.output_hints = hints;
+        let cfg = EngineConfig {
+            output_hints: hints,
+            ..EngineConfig::default()
+        };
         let mut e = Engine::new(cfg);
         e.add_join_text("karma|<author> = count vote|<author>|<id>|<voter>")
             .unwrap();
@@ -120,7 +123,7 @@ fn output_hints_speed_up_counts() {
             e.put(format!("vote|kat|{i}|v{i}"), "1");
         }
         let v = e
-            .get_value(&Key::from("karma|kat"))
+            .get(&Key::from("karma|kat"))
             .map(|v| String::from_utf8_lossy(&v).into_owned())
             .unwrap();
         (v, e.stats().hint_hits)

@@ -123,8 +123,10 @@ fn chained_push_joins_propagate() {
 
 #[test]
 fn full_materialization_precomputes_everything() {
-    let mut cfg = EngineConfig::default();
-    cfg.materialization = MaterializationMode::Full;
+    let cfg = EngineConfig {
+        materialization: MaterializationMode::Full,
+        ..EngineConfig::default()
+    };
     let mut e = Engine::new(cfg);
     e.put("s|ann|bob", "1");
     e.put("p|bob|0000000100", "Hi");
@@ -143,8 +145,10 @@ fn full_materialization_precomputes_everything() {
 
 #[test]
 fn no_materialization_recomputes_every_scan() {
-    let mut cfg = EngineConfig::default();
-    cfg.materialization = MaterializationMode::None;
+    let cfg = EngineConfig {
+        materialization: MaterializationMode::None,
+        ..EngineConfig::default()
+    };
     let mut e = Engine::new(cfg);
     e.add_join_text(TIMELINE).unwrap();
     e.put("s|ann|bob", "1");
@@ -159,8 +163,10 @@ fn no_materialization_recomputes_every_scan() {
 
 #[test]
 fn eager_checks_apply_at_write_time() {
-    let mut cfg = EngineConfig::default();
-    cfg.lazy_checks = false;
+    let cfg = EngineConfig {
+        lazy_checks: false,
+        ..EngineConfig::default()
+    };
     let mut e = Engine::new(cfg);
     e.add_join_text(TIMELINE).unwrap();
     e.put("s|ann|bob", "1");
@@ -176,8 +182,10 @@ fn eager_checks_apply_at_write_time() {
 
 #[test]
 fn pending_log_overflow_falls_back_to_complete_invalidation() {
-    let mut cfg = EngineConfig::default();
-    cfg.pending_log_limit = 5;
+    let cfg = EngineConfig {
+        pending_log_limit: 5,
+        ..EngineConfig::default()
+    };
     let mut e = Engine::new(cfg);
     e.add_join_text(TIMELINE).unwrap();
     e.put("s|ann|bob", "1");

@@ -64,10 +64,7 @@ fn partial_residency_reports_only_gaps() {
     let res = e.scan(&KeyRange::prefix("p|"));
     assert_eq!(res.missing.len(), 2); // [p|, p|a) and [p|m, p})
     assert!(res.missing.iter().any(|r| r.contains(&Key::from("p|zzz"))));
-    assert!(!res
-        .missing
-        .iter()
-        .any(|r| r.contains(&Key::from("p|bob"))));
+    assert!(!res.missing.iter().any(|r| r.contains(&Key::from("p|bob"))));
 }
 
 #[test]
@@ -151,10 +148,7 @@ fn read_your_own_writes_on_one_server() {
     e.put("p|ann|0000000100", "my own tweet");
     let res = e.scan(&KeyRange::prefix("t|ann|"));
     assert_eq!(res.pairs.len(), 1);
-    assert_eq!(
-        String::from_utf8_lossy(&res.pairs[0].1),
-        "my own tweet"
-    );
+    assert_eq!(String::from_utf8_lossy(&res.pairs[0].1), "my own tweet");
 }
 
 #[test]

@@ -7,9 +7,9 @@
 //! check application, stale-updater teardown, aggregates, and
 //! invalidation, under adversarial schedules.
 
-use proptest::prelude::*;
 use pequod_core::{Engine, EngineConfig, MaterializationMode};
 use pequod_store::{Key, KeyRange};
+use proptest::prelude::*;
 
 const TIMELINE: &str =
     "t|<user>|<time:3>|<poster> = check s|<user>|<poster> copy p|<poster>|<time:3>";
@@ -72,8 +72,10 @@ impl Harness {
     /// A fresh engine with the same surviving base data, used as the
     /// from-scratch oracle.
     fn oracle(&self) -> Engine {
-        let mut cfg = EngineConfig::default();
-        cfg.materialization = MaterializationMode::None;
+        let cfg = EngineConfig {
+            materialization: MaterializationMode::None,
+            ..EngineConfig::default()
+        };
         let mut e = Engine::new(cfg);
         e.add_join_text(TIMELINE).unwrap();
         e.add_join_text(KARMA).unwrap();
@@ -109,12 +111,14 @@ impl Harness {
 
     fn apply(&mut self, op: &Op) -> Result<(), TestCaseError> {
         match *op {
-            Op::Follow(u, p) => {
-                self.write(format!("s|{}|{}", USERS[u as usize], USERS[p as usize]), Some("1"))
-            }
-            Op::Unfollow(u, p) => {
-                self.write(format!("s|{}|{}", USERS[u as usize], USERS[p as usize]), None)
-            }
+            Op::Follow(u, p) => self.write(
+                format!("s|{}|{}", USERS[u as usize], USERS[p as usize]),
+                Some("1"),
+            ),
+            Op::Unfollow(u, p) => self.write(
+                format!("s|{}|{}", USERS[u as usize], USERS[p as usize]),
+                None,
+            ),
             Op::Post(u, t) => self.write(
                 format!("p|{}|{:03}", USERS[u as usize], t % 1000),
                 Some("tweet"),
@@ -169,31 +173,39 @@ proptest! {
 
     #[test]
     fn eager_checks_match_oracle(ops in proptest::collection::vec(op_strategy(), 1..60)) {
-        let mut cfg = EngineConfig::default();
-        cfg.lazy_checks = false;
+        let cfg = EngineConfig {
+            lazy_checks: false,
+            ..EngineConfig::default()
+        };
         run_schedule(cfg, &ops)?;
     }
 
     #[test]
     fn full_materialization_matches_oracle(ops in proptest::collection::vec(op_strategy(), 1..60)) {
-        let mut cfg = EngineConfig::default();
-        cfg.materialization = MaterializationMode::Full;
+        let cfg = EngineConfig {
+            materialization: MaterializationMode::Full,
+            ..EngineConfig::default()
+        };
         run_schedule(cfg, &ops)?;
     }
 
     #[test]
     fn tiny_log_limit_matches_oracle(ops in proptest::collection::vec(op_strategy(), 1..60)) {
         // Force frequent complete invalidations.
-        let mut cfg = EngineConfig::default();
-        cfg.pending_log_limit = 1;
+        let cfg = EngineConfig {
+            pending_log_limit: 1,
+            ..EngineConfig::default()
+        };
         run_schedule(cfg, &ops)?;
     }
 
     #[test]
     fn no_hints_no_sharing_matches_oracle(ops in proptest::collection::vec(op_strategy(), 1..60)) {
-        let mut cfg = EngineConfig::default();
-        cfg.output_hints = false;
-        cfg.value_sharing = false;
+        let cfg = EngineConfig {
+            output_hints: false,
+            value_sharing: false,
+            ..EngineConfig::default()
+        };
         run_schedule(cfg, &ops)?;
     }
 }

@@ -56,7 +56,10 @@ fn scan_materializes_on_demand() {
     );
     assert_eq!(e.materialized_ranges(), 1);
     // The computed timeline is cached in the store.
-    assert!(e.store().peek(&Key::from(tkey("ann", 100, "bob"))).is_some());
+    assert!(e
+        .store()
+        .peek(&Key::from(tkey("ann", 100, "bob")))
+        .is_some());
 }
 
 #[test]
@@ -118,8 +121,8 @@ fn new_subscription_then_new_posts_maintained() {
     timeline(&mut e, "ann");
     follow(&mut e, "ann", "liz");
     timeline(&mut e, "ann"); // applies the logged subscription insert
-    // liz posts after the backfill: the updater installed during log
-    // application must route it into ann's timeline.
+                             // liz posts after the backfill: the updater installed during log
+                             // application must route it into ann's timeline.
     post(&mut e, "liz", 200, "fresh");
     let tl = timeline(&mut e, "ann");
     assert_eq!(tl, vec![(tkey("ann", 200, "liz"), "fresh".to_string())]);
@@ -193,7 +196,11 @@ fn incremental_check_after_login_is_cheap() {
         let r = KeyRange::new(format!("t|ann|{:010}", 115u64), Key::from("t|ann}"));
         e.scan(&r);
     }
-    assert_eq!(e.stats().join_execs, execs, "valid ranges must not re-execute");
+    assert_eq!(
+        e.stats().join_execs,
+        execs,
+        "valid ranges must not re-execute"
+    );
 }
 
 #[test]
@@ -201,9 +208,9 @@ fn get_single_computed_key() {
     let mut e = engine();
     follow(&mut e, "ann", "bob");
     post(&mut e, "bob", 100, "Hi");
-    let v = e.get_value(&Key::from(tkey("ann", 100, "bob")));
+    let v = e.get(&Key::from(tkey("ann", 100, "bob")));
     assert_eq!(v.as_deref(), Some(&b"Hi"[..]));
-    assert_eq!(e.get_value(&Key::from(tkey("ann", 999, "bob"))), None);
+    assert_eq!(e.get(&Key::from(tkey("ann", 999, "bob"))), None);
 }
 
 #[test]
@@ -222,8 +229,10 @@ fn cross_timeline_scan_is_correct() {
 fn value_sharing_reduces_resident_bytes() {
     let text = "a somewhat long tweet body to make sharing measurable";
     let run = |sharing: bool| -> (usize, usize) {
-        let mut cfg = EngineConfig::default();
-        cfg.value_sharing = sharing;
+        let cfg = EngineConfig {
+            value_sharing: sharing,
+            ..EngineConfig::default()
+        };
         let mut e = Engine::new(cfg);
         e.add_join_text(TIMELINE).unwrap();
         for u in 0..20 {

@@ -15,7 +15,7 @@
 
 #![warn(missing_docs)]
 
-use pequod_core::{Engine, ScanResult};
+use pequod_core::{BackendStats, Client, Command, Engine, Response, ScanResult};
 use pequod_store::{Key, KeyRange, Value};
 use std::collections::{BTreeMap, VecDeque};
 use std::ops::Bound;
@@ -244,6 +244,105 @@ impl WriteAround {
             .pop()
             .map(|(_, v)| v)
     }
+
+    /// Range count through the cache: missing base data is fetched and
+    /// subscribed exactly as [`WriteAround::read`] does, but the count
+    /// is produced server-side — the pairs are never materialized for
+    /// the caller.
+    pub fn count(&mut self, range: &KeyRange) -> usize {
+        loop {
+            let res = self.cache.count_result(range);
+            if res.is_complete() {
+                return res.count;
+            }
+            for miss in &res.missing {
+                self.fetches += 1;
+                let rows = self.db.query_subscribe(miss, self.id);
+                self.cache.install_base(miss, rows);
+            }
+        }
+    }
+}
+
+/// The write-around deployment as a unified-API backend: writes go to
+/// the database, reads go to the cache, and — matching the asynchronous
+/// NOTIFY channel of a real deployment — pending database notifications
+/// are pumped into the cache *between* batches (and before any read
+/// inside a batch, so a batch observes its own writes), not after every
+/// single write.
+impl Client for WriteAround {
+    fn backend_name(&self) -> &'static str {
+        "writearound"
+    }
+
+    fn execute_batch(&mut self, commands: Vec<Command>) -> Vec<Response> {
+        let mut dirty = false;
+        let flush = |wa: &mut WriteAround, dirty: &mut bool| {
+            if *dirty {
+                wa.pump();
+                *dirty = false;
+            }
+        };
+        let out = commands
+            .into_iter()
+            .map(|command| match command {
+                // Writes to tables the database owns go around the
+                // cache; writes to any other table have no database
+                // home, so the cache itself is the authority — routing
+                // them there keeps this backend a drop-in for scripts
+                // that touch undeclared tables.
+                Command::Put(key, value) => {
+                    if self.cache.is_remote_table(&key.table_prefix()) {
+                        self.db.insert(key, value);
+                        dirty = true;
+                    } else {
+                        self.cache.put(key, value);
+                    }
+                    Response::Ok
+                }
+                Command::Remove(key) => {
+                    if self.cache.is_remote_table(&key.table_prefix()) {
+                        self.db.delete(&key);
+                        dirty = true;
+                    } else {
+                        self.cache.remove(&key);
+                    }
+                    Response::Ok
+                }
+                Command::Get(key) => {
+                    flush(self, &mut dirty);
+                    Response::Value(self.read_key(&key))
+                }
+                Command::Scan(range) => {
+                    flush(self, &mut dirty);
+                    Response::Pairs(self.read(&range).pairs)
+                }
+                Command::Count(range) => {
+                    flush(self, &mut dirty);
+                    Response::Count(self.count(&range) as u64)
+                }
+                Command::AddJoin(text) => match self.cache.add_joins_text(&text) {
+                    Ok(_) => Response::Ok,
+                    Err(e) => Response::Error(e.to_string()),
+                },
+                Command::Stats => {
+                    flush(self, &mut dirty);
+                    // Rows live in the database, cache-owned tables in
+                    // the cache; the resident maximum approximates the
+                    // authoritative key count without double-counting
+                    // cached replicas.
+                    Response::Stats(BackendStats {
+                        keys: (self.db.len() as u64).max(self.cache.store_stats().keys as u64),
+                        memory_bytes: self.cache.memory_bytes() as u64,
+                    })
+                }
+            })
+            .collect();
+        // Deliver the batch's remaining notifications so the next batch
+        // (or direct cache access) starts from a caught-up replica.
+        flush(self, &mut dirty);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -335,6 +434,37 @@ mod tests {
         assert_eq!(wa.read(&KeyRange::prefix("t|ann|")).pairs.len(), 1);
         wa.delete(&Key::from("p|bob|0000000100"));
         assert_eq!(wa.read(&KeyRange::prefix("t|ann|")).pairs.len(), 0);
+    }
+
+    #[test]
+    fn client_api_batches_and_counts_server_side() {
+        let mut engine = Engine::new(EngineConfig::default());
+        engine
+            .add_join_text(
+                "t|<user>|<time:10>|<poster> = check s|<user>|<poster> copy p|<poster>|<time:10>",
+            )
+            .unwrap();
+        let mut wa = WriteAround::new(engine, &["p|", "s|"]);
+        let responses = wa.execute_batch(vec![
+            Command::Put(Key::from("s|ann|bob"), Value::from_static(b"1")),
+            Command::Put(Key::from("p|bob|0000000100"), Value::from_static(b"Hi")),
+            // A read inside the batch observes the batch's own writes.
+            Command::Count(KeyRange::prefix("t|ann|")),
+            Command::Get(Key::from("t|ann|0000000100|bob")),
+        ]);
+        assert_eq!(responses[0], Response::Ok);
+        assert_eq!(responses[2], Response::Count(1));
+        assert_eq!(
+            responses[3],
+            Response::Value(Some(Value::from_static(b"Hi")))
+        );
+        // The write-only tail of a batch is pumped at batch end.
+        wa.execute_batch(vec![Command::Put(
+            Key::from("p|bob|0000000120"),
+            Value::from_static(b"again"),
+        )]);
+        assert_eq!(wa.cache.count(&KeyRange::prefix("t|ann|")), 2);
+        assert_eq!(Client::count(&mut wa, &KeyRange::prefix("t|ann|")), 2);
     }
 
     #[test]

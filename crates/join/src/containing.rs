@@ -83,7 +83,7 @@ pub fn containing_range(
             ps_key.clone()
         } else if !o1.starts_with(&po) {
             // o1 > po but shares no prefix: it lies at or above po's span.
-            debug_assert!(po_end.as_ref().map_or(false, |pe| o1 >= pe));
+            debug_assert!(po_end.as_ref().is_some_and(|pe| o1 >= pe));
             return KeyRange::new(ps_key.clone(), ps_key); // empty
         } else {
             let suffix = &o1.as_bytes()[po.len()..];
@@ -394,7 +394,10 @@ mod tests {
     #[test]
     fn fully_bound_source_is_single_key() {
         let setup = timeline(true);
-        let slots = bind(&setup, &[("user", "ann"), ("poster", "bob"), ("time", "100")]);
+        let slots = bind(
+            &setup,
+            &[("user", "ann"), ("poster", "bob"), ("time", "100")],
+        );
         let got = containing_range(
             &setup.source_p,
             &setup.output,
@@ -449,7 +452,13 @@ mod tests {
             let times: Vec<String> = if fixed {
                 (0..6).map(|i| format!("{:03}", i * 37)).collect()
             } else {
-                vec!["1".into(), "12".into(), "123".into(), "2".into(), "20".into()]
+                vec![
+                    "1".into(),
+                    "12".into(),
+                    "123".into(),
+                    "2".into(),
+                    "20".into(),
+                ]
             };
             let scans = [
                 KeyRange::new("t|ann|037", "t|ann|112"),

@@ -106,10 +106,7 @@ impl Pattern {
                     }
                     None => (inner, None),
                 };
-                if name.is_empty()
-                    || !name
-                        .bytes()
-                        .all(|b| b.is_ascii_alphanumeric() || b == b'_')
+                if name.is_empty() || !name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_')
                 {
                     return Err(PatternError::BadSlotName(name.to_string()));
                 }
@@ -239,12 +236,7 @@ impl Pattern {
     /// `undo` so the caller can unbind them and reuse the slot set for
     /// the next candidate key (the nested-loop hot path). On failure the
     /// new bindings are rolled back before returning.
-    pub fn match_key_undo(
-        &self,
-        key: &Key,
-        slots: &mut SlotSet,
-        undo: &mut Vec<SlotId>,
-    ) -> bool {
+    pub fn match_key_undo(&self, key: &Key, slots: &mut SlotSet, undo: &mut Vec<SlotId>) -> bool {
         let checkpoint = undo.len();
         let bytes = key.as_bytes();
         let mut pos = 0;
@@ -365,7 +357,7 @@ impl Pattern {
         for (ti, tok) in self.tokens.iter().enumerate() {
             match tok {
                 Token::Lit(l) => {
-                    if shared.len() - pos < l.len() || &shared[pos..pos + l.len()] != &l[..] {
+                    if shared.len() - pos < l.len() || shared[pos..pos + l.len()] != l[..] {
                         return;
                     }
                     pos += l.len();
@@ -435,9 +427,7 @@ fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
     if needle.len() > haystack.len() {
         return None;
     }
-    haystack
-        .windows(needle.len())
-        .position(|w| w == &needle[..])
+    haystack.windows(needle.len()).position(|w| w == needle)
 }
 
 #[cfg(test)]
@@ -459,7 +449,10 @@ mod tests {
         let fixed = Pattern::parse("p|<poster>|<time:10>", &mut SlotTable::new()).unwrap();
         assert!(matches!(
             fixed.tokens().last(),
-            Some(Token::Slot { width: Some(10), .. })
+            Some(Token::Slot {
+                width: Some(10),
+                ..
+            })
         ));
     }
 

@@ -38,7 +38,10 @@ impl SlotTable {
 
     /// Looks up an already-interned name.
     pub fn lookup(&self, name: &str) -> Option<SlotId> {
-        self.names.iter().position(|n| n == name).map(|i| SlotId(i as u16))
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| SlotId(i as u16))
     }
 
     /// The name of a slot id.

@@ -417,14 +417,20 @@ mod tests {
         // two value operators
         assert!(matches!(
             JoinSpec::parse("a|<x> = copy b|<x> copy c|<x>"),
-            Err(JoinError::CheckCount { sources: 2, checks: 0 })
+            Err(JoinError::CheckCount {
+                sources: 2,
+                checks: 0
+            })
         ));
         // all checks
         assert!(matches!(
             JoinSpec::parse("a|<x> = check b|<x> check c|<x>"),
             Err(JoinError::CheckCount { .. })
         ));
-        assert!(matches!(JoinSpec::parse("a|<x> ="), Err(JoinError::NoSources)));
+        assert!(matches!(
+            JoinSpec::parse("a|<x> ="),
+            Err(JoinError::NoSources)
+        ));
     }
 
     #[test]
@@ -463,7 +469,10 @@ mod tests {
 
     #[test]
     fn syntax_errors() {
-        assert!(matches!(JoinSpec::parse("nonsense"), Err(JoinError::Syntax(_))));
+        assert!(matches!(
+            JoinSpec::parse("nonsense"),
+            Err(JoinError::Syntax(_))
+        ));
         assert!(matches!(
             JoinSpec::parse("a|<x> = frobnicate b|<x>"),
             Err(JoinError::Syntax(_))

@@ -25,6 +25,8 @@ pub enum CodecError {
     Oversized(usize),
     /// String field held invalid UTF-8.
     BadUtf8,
+    /// `Batch` frames nested deeper than the decoder allows.
+    TooDeep,
 }
 
 impl fmt::Display for CodecError {
@@ -34,6 +36,7 @@ impl fmt::Display for CodecError {
             CodecError::Truncated => write!(f, "truncated frame"),
             CodecError::Oversized(n) => write!(f, "frame of {n} bytes exceeds limit"),
             CodecError::BadUtf8 => write!(f, "invalid utf-8 in string field"),
+            CodecError::TooDeep => write!(f, "batch frames nested too deeply"),
         }
     }
 }
@@ -50,6 +53,13 @@ const TAG_SUBSCRIBE: u8 = 7;
 const TAG_SUBSCRIBE_REPLY: u8 = 8;
 const TAG_NOTIFY: u8 = 9;
 const TAG_UNSUBSCRIBE: u8 = 10;
+const TAG_COUNT: u8 = 11;
+const TAG_BATCH: u8 = 12;
+
+/// Maximum nesting of `Batch` frames, to bound decoder recursion on
+/// malicious input. A batch of batches is already pathological; real
+/// clients send one level.
+const MAX_BATCH_DEPTH: u8 = 4;
 
 fn put_bytes(buf: &mut BytesMut, b: &[u8]) {
     buf.put_u32_le(b.len() as u32);
@@ -133,6 +143,20 @@ pub fn encode(msg: &Message, buf: &mut BytesMut) {
         Message::Unsubscribe { range } => {
             buf.put_u8(TAG_UNSUBSCRIBE);
             put_range(buf, range);
+        }
+        Message::Count { id, range } => {
+            buf.put_u8(TAG_COUNT);
+            buf.put_u64_le(*id);
+            put_range(buf, range);
+        }
+        Message::Batch { msgs } => {
+            buf.put_u8(TAG_BATCH);
+            buf.put_u32_le(msgs.len() as u32);
+            for m in msgs {
+                let mut body = BytesMut::new();
+                encode(m, &mut body);
+                put_bytes(buf, &body);
+            }
         }
     }
 }
@@ -224,6 +248,10 @@ impl<'a> Reader<'a> {
 
 /// Decodes one message body (without the frame length prefix).
 pub fn decode(body: &[u8]) -> Result<Message, CodecError> {
+    decode_at(body, 0)
+}
+
+fn decode_at(body: &[u8], depth: u8) -> Result<Message, CodecError> {
     let mut r = Reader { buf: body };
     let tag = r.u8()?;
     let msg = match tag {
@@ -252,9 +280,7 @@ pub fn decode(body: &[u8]) -> Result<Message, CodecError> {
             id: r.u64()?,
             pairs: r.pairs()?,
             error: match r.opt_bytes()? {
-                Some(b) => {
-                    Some(String::from_utf8(b.to_vec()).map_err(|_| CodecError::BadUtf8)?)
-                }
+                Some(b) => Some(String::from_utf8(b.to_vec()).map_err(|_| CodecError::BadUtf8)?),
                 None => None,
             },
         },
@@ -272,6 +298,25 @@ pub fn decode(body: &[u8]) -> Result<Message, CodecError> {
             value: r.opt_bytes()?,
         },
         TAG_UNSUBSCRIBE => Message::Unsubscribe { range: r.range()? },
+        TAG_COUNT => Message::Count {
+            id: r.u64()?,
+            range: r.range()?,
+        },
+        TAG_BATCH => {
+            if depth >= MAX_BATCH_DEPTH {
+                return Err(CodecError::TooDeep);
+            }
+            let n = r.u32()? as usize;
+            if n > MAX_FRAME / 8 {
+                return Err(CodecError::Oversized(n));
+            }
+            let mut msgs = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                let body = r.bytes()?;
+                msgs.push(decode_at(&body, depth + 1)?);
+            }
+            Message::Batch { msgs }
+        }
         t => return Err(CodecError::BadTag(t)),
     };
     Ok(msg)
@@ -362,6 +407,54 @@ mod tests {
         roundtrip(Message::Unsubscribe {
             range: KeyRange::prefix("p|"),
         });
+        roundtrip(Message::Count {
+            id: 17,
+            range: KeyRange::prefix("t|ann|"),
+        });
+        roundtrip(Message::Batch { msgs: vec![] });
+        roundtrip(Message::Batch {
+            msgs: vec![
+                Message::Get {
+                    id: 1,
+                    key: Key::from("a"),
+                },
+                Message::Count {
+                    id: 2,
+                    range: KeyRange::with_bound("t|", UpperBound::Unbounded),
+                },
+                Message::Put {
+                    id: 3,
+                    key: Key::from("k"),
+                    value: Bytes::from_static(b"v"),
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn batch_nesting_is_bounded() {
+        // Depth 4 (batch-in-batch-in-batch-in-batch) still decodes...
+        let mut msg = Message::Batch { msgs: vec![] };
+        for _ in 0..3 {
+            msg = Message::Batch { msgs: vec![msg] };
+        }
+        roundtrip(msg.clone());
+        // ...but one level deeper is rejected instead of recursing.
+        let deeper = Message::Batch { msgs: vec![msg] };
+        let mut buf = BytesMut::new();
+        encode(&deeper, &mut buf);
+        assert_eq!(decode(&buf), Err(CodecError::TooDeep));
+    }
+
+    #[test]
+    fn count_reply_round_trips_through_pairs() {
+        let msg = Message::count_reply(5, 42);
+        roundtrip(msg.clone());
+        let Message::Reply { pairs, .. } = msg else {
+            panic!("count_reply is a Reply");
+        };
+        assert_eq!(Message::parse_count(&pairs), Some(42));
+        assert_eq!(Message::parse_count(&[]), None);
     }
 
     #[test]

@@ -18,11 +18,15 @@
 //!   restarts them when fetches complete (§3.3).
 //! * [`SimCluster`] — a deterministic in-process network for experiments
 //!   (latency, notify jitter, per-class byte accounting).
+//! * [`ClusterClient`] — the unified `pequod_core::Client` surface over
+//!   a cluster: commands are routed by the partition function and
+//!   pipelined as one batched frame per destination server.
 //! * [`TcpServer`] / [`TcpClient`] — a real blocking TCP transport for a
 //!   single server over loopback or LAN.
 
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod codec;
 pub mod message;
 pub mod partition;
@@ -30,6 +34,7 @@ pub mod server;
 pub mod sim;
 pub mod tcp;
 
+pub use client::ClusterClient;
 pub use message::Message;
 pub use partition::{ComponentHashPartition, Partition, ServerId, SingleServer, TablePartition};
 pub use server::{Endpoint, NodeStats, ServerNode};
@@ -242,10 +247,7 @@ mod tests {
             .add_join("karma|<a> = count vote|<a>|<id>|<v>")
             .unwrap();
         client.put("vote|kat|1|ann", "1").unwrap();
-        assert_eq!(
-            client.get("karma|kat").unwrap().as_deref(),
-            Some(&b"1"[..])
-        );
+        assert_eq!(client.get("karma|kat").unwrap().as_deref(), Some(&b"1"[..]));
         // Bad join text returns a remote error, not a hang.
         assert!(matches!(
             client.add_join("nonsense"),

@@ -41,6 +41,15 @@ pub enum Message {
         /// Range to scan.
         range: KeyRange,
     },
+    /// Server-side range count. The reply is a [`Message::Reply`] whose
+    /// single pair is ([`COUNT_KEY`], the count in ASCII decimal) — the
+    /// server counts; the pairs are never shipped.
+    Count {
+        /// Request id.
+        id: u64,
+        /// Range to count.
+        range: KeyRange,
+    },
     /// Install a cache join from its textual form.
     AddJoin {
         /// Request id.
@@ -85,7 +94,20 @@ pub enum Message {
         /// The range to drop.
         range: KeyRange,
     },
+    /// A pipelined batch delivered as one frame: the receiver handles
+    /// each message in order. Replies are sent individually (a parked
+    /// query inside a batch may answer long after the rest), matched by
+    /// request id.
+    Batch {
+        /// The pipelined messages.
+        msgs: Vec<Message>,
+    },
 }
+
+/// The reply-pair key under which a [`Message::Count`] answer carries
+/// its count. `#` cannot start a user table name in any of the paper's
+/// schemas, so the key cannot collide with real data.
+pub const COUNT_KEY: &str = "#count";
 
 impl Message {
     /// The request id, if this message carries one.
@@ -95,11 +117,12 @@ impl Message {
             | Message::Put { id, .. }
             | Message::Remove { id, .. }
             | Message::Scan { id, .. }
+            | Message::Count { id, .. }
             | Message::AddJoin { id, .. }
             | Message::Reply { id, .. }
             | Message::Subscribe { id, .. }
             | Message::SubscribeReply { id, .. } => Some(*id),
-            Message::Notify { .. } | Message::Unsubscribe { .. } => None,
+            Message::Notify { .. } | Message::Unsubscribe { .. } | Message::Batch { .. } => None,
         }
     }
 
@@ -118,6 +141,28 @@ impl Message {
             id,
             pairs: Vec::new(),
             error: Some(error.into()),
+        }
+    }
+
+    /// The reply to a [`Message::Count`] request.
+    pub fn count_reply(id: u64, count: u64) -> Message {
+        Message::Reply {
+            id,
+            pairs: vec![(
+                Key::from(COUNT_KEY),
+                Value::from(count.to_string().into_bytes()),
+            )],
+            error: None,
+        }
+    }
+
+    /// Extracts the count from a [`Message::count_reply`] pair list.
+    pub fn parse_count(pairs: &[(Key, Value)]) -> Option<u64> {
+        match pairs {
+            [(key, value)] if key.as_bytes() == COUNT_KEY.as_bytes() => {
+                std::str::from_utf8(value).ok()?.parse().ok()
+            }
+            _ => None,
         }
     }
 }

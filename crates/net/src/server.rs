@@ -51,6 +51,9 @@ struct Parked {
     client: Endpoint,
     request_id: u64,
     range: KeyRange,
+    /// True for a `Count` request: the answer ships as a count reply
+    /// instead of the materialized pairs.
+    count: bool,
     outstanding: HashSet<u64>,
     retries: u32,
 }
@@ -118,10 +121,16 @@ impl ServerNode {
     /// Handles one message, returning messages to send.
     pub fn handle(&mut self, from: Endpoint, msg: Message) -> Vec<(Endpoint, Message)> {
         match msg {
-            Message::Get { id, key } => {
-                self.start_query(from, id, KeyRange::single(key))
+            Message::Get { id, key } => self.start_query(from, id, KeyRange::single(key), false),
+            Message::Scan { id, range } => self.start_query(from, id, range, false),
+            Message::Count { id, range } => self.start_query(from, id, range, true),
+            Message::Batch { msgs } => {
+                let mut out = Vec::new();
+                for m in msgs {
+                    out.extend(self.handle(from, m));
+                }
+                out
             }
-            Message::Scan { id, range } => self.start_query(from, id, range),
             Message::Put { id, key, value } => self.handle_write(from, id, key, Some(value)),
             Message::Remove { id, key } => self.handle_write(from, id, key, None),
             Message::AddJoin { id, text } => {
@@ -238,12 +247,14 @@ impl ServerNode {
         from: Endpoint,
         id: u64,
         range: KeyRange,
+        count: bool,
     ) -> Vec<(Endpoint, Message)> {
         self.stats.requests += 1;
         let parked = Parked {
             client: from,
             request_id: id,
             range,
+            count,
             outstanding: HashSet::new(),
             retries: 0,
         };
@@ -253,10 +264,24 @@ impl ServerNode {
     /// Runs a query until it completes or parks on remote fetches.
     fn drive_query(&mut self, mut q: Parked) -> Vec<(Endpoint, Message)> {
         loop {
-            let res = self.engine.scan(&q.range);
-            if res.is_complete() {
-                return vec![(q.client, Message::reply(q.request_id, res.pairs))];
-            }
+            // Counts are answered server-side: only the number crosses
+            // the wire, never the pairs.
+            let missing = if q.count {
+                let res = self.engine.count_result(&q.range);
+                if res.is_complete() {
+                    return vec![(
+                        q.client,
+                        Message::count_reply(q.request_id, res.count as u64),
+                    )];
+                }
+                res.missing
+            } else {
+                let res = self.engine.scan(&q.range);
+                if res.is_complete() {
+                    return vec![(q.client, Message::reply(q.request_id, res.pairs))];
+                }
+                res.missing
+            };
             q.retries += 1;
             if q.retries > MAX_RETRIES {
                 return vec![(
@@ -265,7 +290,7 @@ impl ServerNode {
                 )];
             }
             let mut out = Vec::new();
-            for miss in res.missing {
+            for miss in missing {
                 let home = self.partition.home_of(&miss.first);
                 if home == self.id {
                     // We are the authority: absence is knowledge.

@@ -180,8 +180,7 @@ impl SimCluster {
             self.traffic.client_bytes += bytes;
         }
         let mut delay = self.config.latency;
-        if matches!(msg, Message::Notify { .. }) && self.chance(self.config.notify_jitter_chance)
-        {
+        if matches!(msg, Message::Notify { .. }) && self.chance(self.config.notify_jitter_chance) {
             delay += self.config.notify_jitter;
         }
         self.seq += 1;
@@ -237,13 +236,35 @@ impl SimCluster {
         std::mem::take(&mut self.replies)
     }
 
+    /// Takes the accumulated replies addressed to one client, leaving
+    /// other clients' replies queued.
+    pub fn take_replies_for(&mut self, client: u32) -> Vec<Message> {
+        let mut out = Vec::new();
+        self.replies.retain(|(c, m)| {
+            if *c == client {
+                out.push(m.clone());
+                false
+            } else {
+                true
+            }
+        });
+        out
+    }
+
     // ------------------------------------------------------------------
     // Synchronous convenience API (runs the network to quiescence)
     // ------------------------------------------------------------------
 
     /// Synchronous scan against one server.
     pub fn scan(&mut self, server: ServerId, range: KeyRange) -> Vec<(Key, Value)> {
-        self.request(0, server, Message::Scan { id: u64::MAX, range });
+        self.request(
+            0,
+            server,
+            Message::Scan {
+                id: u64::MAX,
+                range,
+            },
+        );
         self.run_until_quiet();
         self.expect_reply(u64::MAX)
     }

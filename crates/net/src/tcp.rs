@@ -9,13 +9,13 @@
 use crate::codec::{decode_frame, encode_frame, CodecError};
 use crate::message::Message;
 use bytes::BytesMut;
-use std::sync::Mutex;
 use pequod_core::Engine;
 use pequod_store::{Key, KeyRange, Value};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::thread::JoinHandle;
 
 /// A running TCP server.
@@ -93,8 +93,7 @@ fn serve_connection(mut stream: TcpStream, engine: Arc<Mutex<Engine>>) -> std::i
         loop {
             match decode_frame(&mut buf) {
                 Ok(Some(msg)) => {
-                    let reply = handle_client_message(&engine, msg);
-                    if let Some(reply) = reply {
+                    for reply in handle_client_message(&engine, msg) {
                         stream.write_all(&encode_frame(&reply))?;
                     }
                 }
@@ -112,10 +111,31 @@ fn serve_connection(mut stream: TcpStream, engine: Arc<Mutex<Engine>>) -> std::i
     }
 }
 
-fn handle_client_message(engine: &Mutex<Engine>, msg: Message) -> Option<Message> {
+fn handle_client_message(engine: &Mutex<Engine>, msg: Message) -> Vec<Message> {
     let reply = match msg {
+        Message::Batch { msgs } => {
+            // One frame in, one reply per pipelined request out.
+            return msgs
+                .into_iter()
+                .flat_map(|m| handle_client_message(engine, m))
+                .collect();
+        }
+        Message::Count { id, range } => {
+            let res = engine
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .count_result(&range);
+            if res.is_complete() {
+                Message::count_reply(id, res.count as u64)
+            } else {
+                Message::error(id, "missing base data (no backing store attached)")
+            }
+        }
         Message::Get { id, key } => {
-            let res = engine.lock().unwrap_or_else(|e| e.into_inner()).get(&key);
+            let res = engine
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .get_result(&key);
             if res.is_complete() {
                 Message::reply(id, res.pairs)
             } else {
@@ -123,7 +143,10 @@ fn handle_client_message(engine: &Mutex<Engine>, msg: Message) -> Option<Message
             }
         }
         Message::Scan { id, range } => {
-            let res = engine.lock().unwrap_or_else(|e| e.into_inner()).scan(&range);
+            let res = engine
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .scan(&range);
             if res.is_complete() {
                 Message::reply(id, res.pairs)
             } else {
@@ -131,11 +154,17 @@ fn handle_client_message(engine: &Mutex<Engine>, msg: Message) -> Option<Message
             }
         }
         Message::Put { id, key, value } => {
-            engine.lock().unwrap_or_else(|e| e.into_inner()).put(key, value);
+            engine
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .put(key, value);
             Message::reply(id, vec![])
         }
         Message::Remove { id, key } => {
-            engine.lock().unwrap_or_else(|e| e.into_inner()).remove(&key);
+            engine
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&key);
             Message::reply(id, vec![])
         }
         Message::AddJoin { id, text } => {
@@ -151,7 +180,7 @@ fn handle_client_message(engine: &Mutex<Engine>, msg: Message) -> Option<Message
         // Server-to-server traffic is not accepted on the client port.
         other => Message::error(other.id().unwrap_or(0), "unsupported on client connection"),
     };
-    Some(reply)
+    vec![reply]
 }
 
 /// Client-side errors.
@@ -250,11 +279,7 @@ impl TcpClient {
     }
 
     /// Write.
-    pub fn put(
-        &mut self,
-        key: impl Into<Key>,
-        value: impl Into<Value>,
-    ) -> Result<(), ClientError> {
+    pub fn put(&mut self, key: impl Into<Key>, value: impl Into<Value>) -> Result<(), ClientError> {
         let id = self.fresh_id();
         self.call(Message::Put {
             id,
@@ -278,6 +303,14 @@ impl TcpClient {
     pub fn scan(&mut self, range: KeyRange) -> Result<Vec<(Key, Value)>, ClientError> {
         let id = self.fresh_id();
         self.call(Message::Scan { id, range })
+    }
+
+    /// Server-side range count: only the number crosses the wire.
+    pub fn count(&mut self, range: KeyRange) -> Result<u64, ClientError> {
+        let id = self.fresh_id();
+        let pairs = self.call(Message::Count { id, range })?;
+        Message::parse_count(&pairs)
+            .ok_or_else(|| ClientError::Remote("malformed count reply".into()))
     }
 
     /// Install cache joins.

@@ -1,0 +1,122 @@
+//! Property tests for the wire codec: every [`Message`] variant —
+//! client requests, replies, the server→server subscription vocabulary,
+//! and the batched frames — survives an encode/decode round trip with
+//! arbitrary binary keys and values, both as bare bodies and as
+//! length-prefixed frames split at arbitrary byte boundaries.
+
+use bytes::BytesMut;
+use pequod_net::codec::{decode, decode_frame, encode, encode_frame};
+use pequod_net::Message;
+use pequod_store::{Key, KeyRange, UpperBound, Value};
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+
+fn bytes_strategy() -> impl Strategy<Value = Vec<u8>> {
+    // Fully binary: delimiter bytes, NULs, and high bytes included.
+    proptest::collection::vec(0u8..=255u8, 0..12)
+}
+
+fn key_strategy() -> impl Strategy<Value = Key> {
+    bytes_strategy().prop_map(Key::from)
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    bytes_strategy().prop_map(Value::from)
+}
+
+fn range_strategy() -> impl Strategy<Value = KeyRange> {
+    (key_strategy(), proptest::option::of(key_strategy())).prop_map(|(first, end)| KeyRange {
+        first,
+        end: match end {
+            Some(k) => UpperBound::Excluded(k),
+            None => UpperBound::Unbounded,
+        },
+    })
+}
+
+fn pairs_strategy() -> impl Strategy<Value = Vec<(Key, Value)>> {
+    proptest::collection::vec((key_strategy(), value_strategy()), 0..5)
+}
+
+fn error_strategy() -> impl Strategy<Value = Option<String>> {
+    proptest::option::of(proptest::string::string_regex("[a-z ]{0,16}").unwrap())
+}
+
+/// Every non-batch message variant.
+fn leaf_strategy() -> BoxedStrategy<Message> {
+    prop_oneof![
+        (0u64..1000, key_strategy()).prop_map(|(id, key)| Message::Get { id, key }),
+        (0u64..1000, key_strategy(), value_strategy()).prop_map(|(id, key, value)| Message::Put {
+            id,
+            key,
+            value
+        }),
+        (0u64..1000, key_strategy()).prop_map(|(id, key)| Message::Remove { id, key }),
+        (0u64..1000, range_strategy()).prop_map(|(id, range)| Message::Scan { id, range }),
+        (0u64..1000, range_strategy()).prop_map(|(id, range)| Message::Count { id, range }),
+        (
+            0u64..1000,
+            proptest::string::string_regex("[a-z|<> =]{0,20}").unwrap()
+        )
+            .prop_map(|(id, text)| Message::AddJoin { id, text }),
+        (0u64..1000, pairs_strategy(), error_strategy())
+            .prop_map(|(id, pairs, error)| Message::Reply { id, pairs, error }),
+        (0u64..1000, range_strategy()).prop_map(|(id, range)| Message::Subscribe { id, range }),
+        (0u64..1000, range_strategy(), pairs_strategy())
+            .prop_map(|(id, range, pairs)| Message::SubscribeReply { id, range, pairs }),
+        (key_strategy(), proptest::option::of(value_strategy()))
+            .prop_map(|(key, value)| Message::Notify { key, value }),
+        range_strategy().prop_map(|range| Message::Unsubscribe { range }),
+    ]
+    .boxed()
+}
+
+/// Any message, including batches of messages (and, at depth ≥ 2,
+/// batches containing batches).
+fn message_strategy(depth: u8) -> BoxedStrategy<Message> {
+    if depth == 0 {
+        return leaf_strategy();
+    }
+    prop_oneof![
+        leaf_strategy(),
+        proptest::collection::vec(message_strategy(depth - 1), 0..4)
+            .prop_map(|msgs| Message::Batch { msgs }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    /// Body-level round trip for arbitrary messages (batches nested up
+    /// to two levels).
+    #[test]
+    fn any_message_roundtrips(msg in message_strategy(2)) {
+        let mut buf = BytesMut::new();
+        encode(&msg, &mut buf);
+        prop_assert_eq!(decode(&buf), Ok(msg));
+    }
+
+    /// Frame-level round trip: several messages concatenated into one
+    /// stream, fed to the frame splitter in two arbitrary chunks, come
+    /// back intact and in order.
+    #[test]
+    fn frames_roundtrip_across_split_boundaries(
+        msgs in proptest::collection::vec(message_strategy(1), 1..4),
+        split_seed in 0usize..1000,
+    ) {
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode_frame(m));
+        }
+        let split = split_seed % (stream.len() + 1);
+        let mut buf = BytesMut::new();
+        let mut got = Vec::new();
+        for chunk in [&stream[..split], &stream[split..]] {
+            buf.extend_from_slice(chunk);
+            while let Some(m) = decode_frame(&mut buf).unwrap() {
+                got.push(m);
+            }
+        }
+        prop_assert_eq!(got, msgs);
+        prop_assert!(buf.is_empty());
+    }
+}

@@ -343,12 +343,18 @@ impl<V> IntervalTree<V> {
             let mut expect = node.range.end.clone();
             if let Some(l) = node.left.as_deref() {
                 assert!(l.priority <= node.priority, "heap violated");
-                assert!((&l.range.first, l.id) < (&node.range.first, node.id), "bst violated");
+                assert!(
+                    (&l.range.first, l.id) < (&node.range.first, node.id),
+                    "bst violated"
+                );
                 expect = expect.max(check(Some(l)).unwrap());
             }
             if let Some(r) = node.right.as_deref() {
                 assert!(r.priority <= node.priority, "heap violated");
-                assert!((&r.range.first, r.id) > (&node.range.first, node.id), "bst violated");
+                assert!(
+                    (&r.range.first, r.id) > (&node.range.first, node.id),
+                    "bst violated"
+                );
                 expect = expect.max(check(Some(r)).unwrap());
             }
             assert!(node.max_end == expect, "max_end stale");
@@ -453,7 +459,9 @@ mod tests {
         let mut naive: Vec<(IntervalId, KeyRange)> = Vec::new();
         let mut state = 0x12345678u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for _ in 0..300 {

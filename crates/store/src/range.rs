@@ -311,7 +311,10 @@ mod tests {
         let unb = KeyRange::with_bound("b", UpperBound::Unbounded);
         assert_eq!(
             unb.subtract(&r("d", "f")),
-            vec![r("b", "d"), KeyRange::with_bound("f", UpperBound::Unbounded)]
+            vec![
+                r("b", "d"),
+                KeyRange::with_bound("f", UpperBound::Unbounded)
+            ]
         );
     }
 

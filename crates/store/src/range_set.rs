@@ -124,10 +124,7 @@ impl RangeSet {
         }
         for (f, e) in affected {
             self.ranges.remove(&f);
-            let whole = KeyRange {
-                first: f,
-                end: e,
-            };
+            let whole = KeyRange { first: f, end: e };
             for piece in whole.subtract(range) {
                 self.ranges.insert(piece.first, piece.end);
             }

@@ -157,10 +157,8 @@ impl Store {
                     self.stats.logical_value_bytes - prev.len() + value_len;
                 // We cannot tell whether the previous value was shared;
                 // assume replacement preserves sharedness of the new value.
-                self.stats.resident_value_bytes = self
-                    .stats
-                    .resident_value_bytes
-                    .saturating_sub(prev.len());
+                self.stats.resident_value_bytes =
+                    self.stats.resident_value_bytes.saturating_sub(prev.len());
                 if !shared {
                     self.stats.resident_value_bytes += value_len;
                 }
@@ -196,7 +194,8 @@ impl Store {
             self.stats.keys -= 1;
             self.stats.key_bytes -= key.len();
             self.stats.logical_value_bytes -= v.len();
-            self.stats.resident_value_bytes = self.stats.resident_value_bytes.saturating_sub(v.len());
+            self.stats.resident_value_bytes =
+                self.stats.resident_value_bytes.saturating_sub(v.len());
         }
         removed
     }
@@ -296,7 +295,11 @@ impl Store {
 
     /// Convenience `put` for string literals in tests and examples.
     pub fn put_str(&mut self, key: &str, value: &str) {
-        self.put(Key::from(key), Bytes::copy_from_slice(value.as_bytes()), false);
+        self.put(
+            Key::from(key),
+            Bytes::copy_from_slice(value.as_bytes()),
+            false,
+        );
     }
 }
 

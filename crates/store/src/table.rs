@@ -121,11 +121,7 @@ impl Table {
     pub fn put(&mut self, key: Key, value: Value) -> Option<Value> {
         let old = match &mut self.repr {
             Repr::Flat(map) => map.insert(key, value),
-            Repr::Split {
-                depth,
-                subs,
-                order,
-            } => {
+            Repr::Split { depth, subs, order } => {
                 let prefix = key.component_prefix(*depth);
                 self.stats.hash_hits += 1;
                 match subs.get_mut(&prefix) {
@@ -169,11 +165,7 @@ impl Table {
     pub fn remove(&mut self, key: &Key) -> Option<Value> {
         let removed = match &mut self.repr {
             Repr::Flat(map) => map.remove(key),
-            Repr::Split {
-                depth,
-                subs,
-                order,
-            } => {
+            Repr::Split { depth, subs, order } => {
                 let prefix = key.component_prefix(*depth);
                 self.stats.hash_hits += 1;
                 let sub = subs.get_mut(&prefix)?;
@@ -205,11 +197,7 @@ impl Table {
                     }
                 }
             }
-            Repr::Split {
-                depth,
-                subs,
-                order,
-            } => {
+            Repr::Split { depth, subs, order } => {
                 // Fast path: the scan falls entirely inside one subtable.
                 // Valid only when the routing prefix contains the full
                 // `depth` separators — a shorter prefix (e.g. `t|` at depth
@@ -389,7 +377,11 @@ mod tests {
             KeyRange::new("t|ann|150|bob", "t|zed|999|ann\x00"),
         ];
         for range in &ranges {
-            assert_eq!(pairs(&mut flat, range), pairs(&mut split, range), "{range:?}");
+            assert_eq!(
+                pairs(&mut flat, range),
+                pairs(&mut split, range),
+                "{range:?}"
+            );
         }
     }
 

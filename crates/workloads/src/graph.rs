@@ -33,7 +33,7 @@ impl Default for GraphConfig {
             users: 10_000,
             avg_followees: 40.0,
             zipf_alpha: 1.2,
-            seed: 0x7e9_0d,
+            seed: 0x7e90d,
         }
     }
 }
@@ -64,7 +64,7 @@ impl SocialGraph {
         let mut followees: Vec<Vec<u32>> = vec![Vec::new(); n];
         let mut followers = vec![0u32; n];
         let mut edges = 0usize;
-        for u in 0..n {
+        for (u, mine) in followees.iter_mut().enumerate() {
             // Followee count: geometric around the mean, min 1, so some
             // users follow a handful and some follow hundreds.
             let mut k = 1usize;
@@ -72,7 +72,6 @@ impl SocialGraph {
             while rng.gen::<f64>() > p && k < n.saturating_sub(1).max(1) && k < 4096 {
                 k += 1;
             }
-            let mine = &mut followees[u];
             for _ in 0..k {
                 let rank = zipf.sample(&mut rng) as usize - 1;
                 let target = by_rank[rank.min(n - 1)];
@@ -199,9 +198,7 @@ mod tests {
     fn post_weight_grows_with_popularity() {
         let g = small();
         let celeb = g.celebrities(1)[0];
-        let nobody = (0..g.users())
-            .min_by_key(|&u| g.follower_count(u))
-            .unwrap();
+        let nobody = (0..g.users()).min_by_key(|&u| g.follower_count(u)).unwrap();
         assert!(g.post_weight(celeb) > g.post_weight(nobody));
     }
 }

@@ -5,7 +5,9 @@
 //!   the proprietary 2009 Twitter crawl; see DESIGN.md).
 //! * [`twip`] — the Twitter-like application: key schema, joins
 //!   (including celebrity handling), the [`twip::TwipBackend`] trait the
-//!   comparison systems implement, and the §5.1 client model.
+//!   comparison systems implement, the unified-API driver
+//!   [`twip::ClientTwip`] that runs the same workload over any
+//!   `pequod_core::Client` backend, and the §5.1 client model.
 //! * [`newp`] — the Hacker News-like application with interleaved and
 //!   non-interleaved configurations (Figures 1 and 9).
 //! * [`rpc`] — per-RPC cost metering through the real wire codec, so
@@ -22,10 +24,11 @@ pub mod twip;
 pub mod zipf;
 
 pub use graph::{GraphConfig, SocialGraph};
-pub use newp::{run_newp, NewpBackend, NewpConfig, NewpRunStats, PequodNewp};
+pub use newp::{run_newp, ClientNewp, NewpBackend, NewpConfig, NewpRunStats, PequodNewp};
 pub use rpc::RpcMeter;
 pub use twip::{
-    run_twip, PequodTwip, TwipBackend, TwipMix, TwipOp, TwipRunStats, TwipWorkload,
+    run_twip, ClientTwip, PequodTwip, TwipBackend, TwipMix, TwipOp, TwipRunStats, TwipStrategy,
+    TwipWorkload,
 };
 pub use zipf::Zipf;
 
@@ -98,7 +101,12 @@ mod determinism {
         let run = || {
             let mut backend = PequodTwip::new(Engine::new(EngineConfig::default()));
             let stats = run_twip(&mut backend, &graph, &workload, 200);
-            (stats.ops, stats.entries_returned, stats.rpcs, stats.rpc_bytes)
+            (
+                stats.ops,
+                stats.entries_returned,
+                stats.rpcs,
+                stats.rpc_bytes,
+            )
         };
         assert_eq!(run(), run());
     }

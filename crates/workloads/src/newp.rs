@@ -15,8 +15,8 @@
 //! article, its rank, its comments, and each commenter's karma).
 
 use crate::rpc::RpcMeter;
-use pequod_core::Engine;
-use pequod_store::{Key, KeyRange};
+use pequod_core::{Client, Engine};
+use pequod_store::{Key, KeyRange, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -122,11 +122,11 @@ impl NewpBackend for PequodNewp {
             // commenter (two round trips; many RPCs).
             let mut items = 0;
             let akey = Key::from(format!("article|{author_s}|{id_s}"));
-            let a = self.engine.get_value(&akey);
+            let a = self.engine.get(&akey);
             self.meter.get_with_reply(&akey, a.as_ref());
             items += a.is_some() as usize;
             let rkey = Key::from(format!("rank|{author_s}|{id_s}"));
-            let r = self.engine.get_value(&rkey);
+            let r = self.engine.get(&rkey);
             self.meter.get_with_reply(&rkey, r.as_ref());
             items += r.is_some() as usize;
             let crange = KeyRange::prefix(format!("comment|{author_s}|{id_s}|"));
@@ -136,10 +136,8 @@ impl NewpBackend for PequodNewp {
             for (ckey, _) in &comments.pairs {
                 // last component is the commenter
                 let commenter = ckey.components().last().unwrap().to_vec();
-                let kkey = Key::from(
-                    [b"karma|".as_slice(), &commenter].concat(),
-                );
-                let k = self.engine.get_value(&kkey);
+                let kkey = Key::from([b"karma|".as_slice(), &commenter].concat());
+                let k = self.engine.get(&kkey);
                 self.meter.get_with_reply(&kkey, k.as_ref());
                 items += k.is_some() as usize;
             }
@@ -173,6 +171,132 @@ impl NewpBackend for PequodNewp {
 
     fn load(&mut self, key: String, value: &str) {
         self.engine.put(key, value.to_string());
+    }
+
+    fn rpcs(&self) -> u64 {
+        self.meter.rpcs
+    }
+
+    fn reset_meter(&mut self) {
+        self.meter = RpcMeter::new();
+        self.meter.set_cost(self.rpc_cost.0, self.rpc_cost.1);
+    }
+}
+
+/// Newp driven through the unified [`Client`] API: the same driver runs
+/// against the in-process engine, the write-around deployment, or the
+/// simulated cluster (Newp needs cache joins, so join-less baselines
+/// are out of scope). Interleaved or separate configurations mirror
+/// [`PequodNewp`].
+pub struct ClientNewp {
+    client: Box<dyn Client>,
+    name: &'static str,
+    meter: RpcMeter,
+    interleaved: bool,
+    rpc_cost: (u64, u64),
+}
+
+impl ClientNewp {
+    /// Wraps a join-capable backend; `interleaved` selects the Figure 1
+    /// page joins versus separate per-range reads.
+    pub fn new(mut client: Box<dyn Client>, interleaved: bool) -> ClientNewp {
+        client
+            .add_join(NEWP_BASE_JOINS)
+            .expect("backend rejected the Newp base joins");
+        if interleaved {
+            client
+                .add_join(NEWP_PAGE_JOINS)
+                .expect("backend rejected the Newp page joins");
+        }
+        ClientNewp {
+            name: client.backend_name(),
+            client,
+            meter: RpcMeter::new(),
+            interleaved,
+            rpc_cost: (
+                crate::rpc::DEFAULT_RPC_COST_NS,
+                crate::rpc::DEFAULT_RPC_COST_PER_KB_NS,
+            ),
+        }
+    }
+
+    /// Overrides the RPC cost model (0 measures pure backend work).
+    pub fn set_rpc_cost(&mut self, cost_ns: u64, per_kb_ns: u64) {
+        self.meter.set_cost(cost_ns, per_kb_ns);
+        self.rpc_cost = (cost_ns, per_kb_ns);
+    }
+
+    /// The wrapped backend (stats, direct inspection).
+    pub fn client_mut(&mut self) -> &mut dyn Client {
+        &mut *self.client
+    }
+}
+
+impl NewpBackend for ClientNewp {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn read_article(&mut self, author: u32, id: u32) -> usize {
+        let author_s = user(author);
+        let id_s = article_id(id);
+        if self.interleaved {
+            let range = KeyRange::prefix(format!("page|{author_s}|{id_s}|"));
+            let pairs = self.client.scan(&range);
+            self.meter.scan_with_reply(&range.first, &pairs);
+            pairs.len()
+        } else {
+            let mut items = 0;
+            let akey = Key::from(format!("article|{author_s}|{id_s}"));
+            let a = self.client.get(&akey);
+            self.meter.get_with_reply(&akey, a.as_ref());
+            items += a.is_some() as usize;
+            let rkey = Key::from(format!("rank|{author_s}|{id_s}"));
+            let r = self.client.get(&rkey);
+            self.meter.get_with_reply(&rkey, r.as_ref());
+            items += r.is_some() as usize;
+            let crange = KeyRange::prefix(format!("comment|{author_s}|{id_s}|"));
+            let comments = self.client.scan(&crange);
+            self.meter.scan_with_reply(&crange.first, &comments);
+            items += comments.len();
+            for (ckey, _) in &comments {
+                let commenter = ckey.components().last().unwrap().to_vec();
+                let kkey = Key::from([b"karma|".as_slice(), &commenter].concat());
+                let k = self.client.get(&kkey);
+                self.meter.get_with_reply(&kkey, k.as_ref());
+                items += k.is_some() as usize;
+            }
+            items
+        }
+    }
+
+    fn vote(&mut self, author: u32, id: u32, voter: u32) {
+        let key = Key::from(format!(
+            "vote|{}|{}|{}",
+            user(author),
+            article_id(id),
+            user(voter)
+        ));
+        let value = Value::from_static(b"1");
+        self.meter.put(&key, &value);
+        self.client.put(&key, &value);
+    }
+
+    fn comment(&mut self, author: u32, id: u32, cid: u32, commenter: u32, text: &str) {
+        let key = Key::from(format!(
+            "comment|{}|{}|{cid:06}|{}",
+            user(author),
+            article_id(id),
+            user(commenter)
+        ));
+        let value = Value::from(text.as_bytes().to_vec());
+        self.meter.put(&key, &value);
+        self.client.put(&key, &value);
+    }
+
+    fn load(&mut self, key: String, value: &str) {
+        self.client
+            .put(&Key::from(key), &Value::from(value.as_bytes().to_vec()));
     }
 
     fn rpcs(&self) -> u64 {
@@ -344,20 +468,30 @@ mod tests {
     }
 
     #[test]
+    fn unified_newp_driver_matches_direct_backend() {
+        let cfg = tiny();
+        let mut direct = PequodNewp::new(Engine::new(EngineConfig::default()), true);
+        let s_direct = run_newp(&mut direct, &cfg);
+        let mut unified = ClientNewp::new(Box::new(Engine::new(EngineConfig::default())), true);
+        let s_unified = run_newp(&mut unified, &cfg);
+        assert_eq!(s_direct.sessions, s_unified.sessions);
+        assert_eq!(s_direct.items_read, s_unified.items_read);
+        assert_eq!(s_direct.rpcs, s_unified.rpcs);
+    }
+
+    #[test]
     fn page_scan_contains_all_item_classes() {
         let mut b = PequodNewp::new(Engine::new(EngineConfig::default()), true);
         b.load("article|n000001|0000003".into(), "the article");
         b.load("comment|n000001|0000003|000001|n000002".into(), "hi");
         b.load("vote|n000001|0000003|n000005".into(), "1");
         b.load("vote|n000002|0000009|n000005".into(), "1"); // commenter's karma
-        // commenter n000002 has an article with a vote? karma counts
-        // votes on n000002's articles:
+                                                            // commenter n000002 has an article with a vote? karma counts
+                                                            // votes on n000002's articles:
         let items = b.read_article(1, 3);
         // a, r, c, k = 4 items
         assert_eq!(items, 4);
-        let page = b
-            .engine
-            .scan(&KeyRange::prefix("page|n000001|0000003|"));
+        let page = b.engine.scan(&KeyRange::prefix("page|n000001|0000003|"));
         let keys: Vec<String> = page.pairs.iter().map(|(k, _)| k.to_string()).collect();
         assert!(keys.iter().any(|k| k.ends_with("|a")));
         assert!(keys.iter().any(|k| k.ends_with("|r")));
@@ -372,9 +506,7 @@ mod tests {
         b.read_article(1, 3);
         b.vote(1, 3, 7);
         b.vote(1, 3, 8);
-        let page = b
-            .engine
-            .scan(&KeyRange::prefix("page|n000001|0000003|"));
+        let page = b.engine.scan(&KeyRange::prefix("page|n000001|0000003|"));
         let rank = page
             .pairs
             .iter()

@@ -17,8 +17,9 @@
 
 use crate::graph::SocialGraph;
 use crate::rpc::RpcMeter;
-use pequod_core::Engine;
-use pequod_store::{Key, KeyRange};
+use pequod_core::{Client, Command, Engine, Response};
+use pequod_net::Message;
+use pequod_store::{Key, KeyRange, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -85,7 +86,7 @@ pub trait TwipBackend {
     /// Resets the meter (after untimed setup).
     fn reset_meter(&mut self);
     /// Estimated resident memory.
-    fn memory_bytes(&self) -> usize;
+    fn memory_bytes(&mut self) -> usize;
 }
 
 /// Twip served by a Pequod engine with the timeline cache join:
@@ -192,8 +193,233 @@ impl TwipBackend for PequodTwip {
         self.meter.set_cost(self.rpc_cost.0, self.rpc_cost.1);
     }
 
-    fn memory_bytes(&self) -> usize {
+    fn memory_bytes(&mut self) -> usize {
         self.engine.memory_bytes()
+    }
+}
+
+/// How a deployment keeps timelines fresh when Twip is driven through
+/// the unified [`Client`] API.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TwipStrategy {
+    /// The backend supports cache joins: install [`TIMELINE_JOIN`] and
+    /// let the server maintain timelines (Pequod deployments).
+    ServerJoins,
+    /// No server-side computation: the client fans each post out to
+    /// every follower's timeline and backfills new subscriptions itself
+    /// (the paper's "client Pequod" discipline, which also fits the
+    /// Redis-like, memcached-like, and relational baselines).
+    ClientFanout,
+}
+
+/// Twip driven entirely through the unified [`Client`] API: the same
+/// driver runs against the in-process engine, the write-around
+/// deployment, the simulated cluster, and every Figure 7 baseline.
+///
+/// Multi-key operations (fan-out, backfill) are issued as one
+/// [`Client::execute_batch`] call, so backends that own a network
+/// pipeline them; timeline checks use [`Command::Count`], so backends
+/// count server-side instead of shipping pairs that the driver would
+/// only count. Every logical RPC is metered through the real wire codec
+/// (one request frame per command, plus reply frames for reads),
+/// identically for every backend.
+pub struct ClientTwip {
+    client: Box<dyn Client>,
+    strategy: TwipStrategy,
+    name: &'static str,
+    meter: RpcMeter,
+    rpc_cost: (u64, u64),
+}
+
+impl ClientTwip {
+    /// Wraps a backend. Under [`TwipStrategy::ServerJoins`] the timeline
+    /// join is installed immediately (panics if the backend rejects
+    /// joins — use [`TwipStrategy::ClientFanout`] for join-less
+    /// backends).
+    pub fn new(mut client: Box<dyn Client>, strategy: TwipStrategy) -> ClientTwip {
+        if strategy == TwipStrategy::ServerJoins {
+            client
+                .add_join(TIMELINE_JOIN)
+                .expect("backend rejected the timeline join; use TwipStrategy::ClientFanout");
+        }
+        ClientTwip {
+            name: client.backend_name(),
+            client,
+            strategy,
+            meter: RpcMeter::new(),
+            rpc_cost: (
+                crate::rpc::DEFAULT_RPC_COST_NS,
+                crate::rpc::DEFAULT_RPC_COST_PER_KB_NS,
+            ),
+        }
+    }
+
+    /// Overrides the RPC cost model (0 measures pure backend work).
+    pub fn set_rpc_cost(&mut self, cost_ns: u64, per_kb_ns: u64) {
+        self.meter.set_cost(cost_ns, per_kb_ns);
+        self.rpc_cost = (cost_ns, per_kb_ns);
+    }
+
+    /// The wrapped backend (stats, direct inspection).
+    pub fn client_mut(&mut self) -> &mut dyn Client {
+        &mut *self.client
+    }
+
+    fn reverse_key(poster: u32, user: u32) -> String {
+        format!("rs|{}|{}", user_name(poster), user_name(user))
+    }
+
+    /// The followers of `poster` via the reverse index (fan-out mode).
+    fn followers(&mut self, poster: u32, metered: bool) -> Vec<String> {
+        let range = KeyRange::prefix(format!("rs|{}|", user_name(poster)));
+        let pairs = self.client.scan(&range);
+        if metered {
+            self.meter.scan_with_reply(&range.first, &pairs);
+        }
+        pairs
+            .iter()
+            .map(|(k, _)| String::from_utf8_lossy(k.components().last().unwrap()).into_owned())
+            .collect()
+    }
+
+    /// Issues a batch of puts as one pipelined `execute_batch` call,
+    /// metering one request frame per put.
+    fn put_batch(&mut self, puts: Vec<(Key, Value)>, metered: bool) {
+        if puts.is_empty() {
+            return;
+        }
+        if metered {
+            for (k, v) in &puts {
+                self.meter.put(k, v);
+            }
+        }
+        let commands = puts.into_iter().map(|(k, v)| Command::Put(k, v)).collect();
+        for r in self.client.execute_batch(commands) {
+            debug_assert!(matches!(r, Response::Ok), "put failed: {r:?}");
+        }
+    }
+}
+
+impl TwipBackend for ClientTwip {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn load_graph(&mut self, graph: &SocialGraph) {
+        for u in 0..graph.users() {
+            let mut puts: Vec<(Key, Value)> = Vec::new();
+            for &p in graph.followees(u) {
+                puts.push((Key::from(sub_key(u, p)), Value::from_static(b"1")));
+                if self.strategy == TwipStrategy::ClientFanout {
+                    puts.push((Key::from(Self::reverse_key(p, u)), Value::from_static(b"1")));
+                }
+            }
+            self.put_batch(puts, false);
+        }
+    }
+
+    fn load_post(&mut self, poster: u32, time: u64, text: &str) {
+        let value = Value::from(text.as_bytes().to_vec());
+        let mut puts = vec![(Key::from(post_key(poster, time, false)), value.clone())];
+        if self.strategy == TwipStrategy::ClientFanout {
+            for f in self.followers(poster, false) {
+                puts.push((
+                    Key::from(format!("t|{f}|{time:010}|{}", user_name(poster))),
+                    value.clone(),
+                ));
+            }
+        }
+        self.put_batch(puts, false);
+    }
+
+    fn post(&mut self, poster: u32, time: u64, text: &str) {
+        let value = Value::from(text.as_bytes().to_vec());
+        let pkey = Key::from(post_key(poster, time, false));
+        match self.strategy {
+            TwipStrategy::ServerJoins => {
+                self.meter.put(&pkey, &value);
+                self.client.put(&pkey, &value);
+            }
+            TwipStrategy::ClientFanout => {
+                let mut puts = vec![(pkey, value.clone())];
+                for f in self.followers(poster, true) {
+                    puts.push((
+                        Key::from(format!("t|{f}|{time:010}|{}", user_name(poster))),
+                        value.clone(),
+                    ));
+                }
+                self.put_batch(puts, true);
+            }
+        }
+    }
+
+    fn subscribe(&mut self, user: u32, poster: u32) {
+        let skey = Key::from(sub_key(user, poster));
+        let one = Value::from_static(b"1");
+        match self.strategy {
+            TwipStrategy::ServerJoins => {
+                self.meter.put(&skey, &one);
+                self.client.put(&skey, &one);
+            }
+            TwipStrategy::ClientFanout => {
+                let mut puts = vec![
+                    (skey, one.clone()),
+                    (Key::from(Self::reverse_key(poster, user)), one),
+                ];
+                // Backfill from the poster's existing tweets.
+                let prange = KeyRange::prefix(format!("p|{}|", user_name(poster)));
+                let posts = self.client.scan(&prange);
+                self.meter.scan_with_reply(&prange.first, &posts);
+                for (k, v) in posts {
+                    let time = k.components().nth(2).unwrap().to_vec();
+                    puts.push((
+                        Key::from(
+                            [
+                                b"t|".as_slice(),
+                                user_name(user).as_bytes(),
+                                b"|",
+                                &time,
+                                b"|",
+                                user_name(poster).as_bytes(),
+                            ]
+                            .concat(),
+                        ),
+                        v,
+                    ));
+                }
+                self.put_batch(puts, true);
+            }
+        }
+    }
+
+    fn check(&mut self, user: u32, since: u64) -> usize {
+        // Server-side count: the timeline length comes back as one small
+        // reply, not as the materialized pairs.
+        let range = timeline_range(user, since);
+        let n = self.client.count(&range);
+        self.meter.rpc(&Message::Count {
+            id: 0,
+            range: range.clone(),
+        });
+        self.meter.rpc(&Message::count_reply(0, n));
+        n as usize
+    }
+
+    fn rpcs(&self) -> u64 {
+        self.meter.rpcs
+    }
+
+    fn rpc_bytes(&self) -> u64 {
+        self.meter.bytes
+    }
+
+    fn reset_meter(&mut self) {
+        self.meter = RpcMeter::new();
+        self.meter.set_cost(self.rpc_cost.0, self.rpc_cost.1);
+    }
+
+    fn memory_bytes(&mut self) -> usize {
+        self.client.stats().memory_bytes as usize
     }
 }
 
@@ -458,8 +684,7 @@ mod tests {
         let w = TwipWorkload::generate(&g, &mix);
         let mut plain = PequodTwip::new(Engine::new(EngineConfig::default()));
         let plain_stats = run_twip(&mut plain, &g, &w, 500);
-        let mut celeb =
-            PequodTwip::with_celebrities(Engine::new(EngineConfig::default()), celebs);
+        let mut celeb = PequodTwip::with_celebrities(Engine::new(EngineConfig::default()), celebs);
         let celeb_stats = run_twip(&mut celeb, &g, &w, 500);
         // Same timeline entries delivered either way.
         assert_eq!(plain_stats.entries_returned, celeb_stats.entries_returned);
@@ -470,6 +695,59 @@ mod tests {
             "celebrity {} vs plain {}",
             celeb_stats.memory_bytes,
             plain_stats.memory_bytes
+        );
+    }
+
+    #[test]
+    fn unified_driver_matches_direct_backend() {
+        let g = small_graph();
+        let mix = TwipMix {
+            active_fraction: 0.4,
+            checks_per_user: 5,
+            seed: 5,
+            ..TwipMix::default()
+        };
+        let w = TwipWorkload::generate(&g, &mix);
+        let mut direct = PequodTwip::new(Engine::new(EngineConfig::default()));
+        let s_direct = run_twip(&mut direct, &g, &w, 500);
+        let mut unified = ClientTwip::new(
+            Box::new(Engine::new(EngineConfig::default())),
+            TwipStrategy::ServerJoins,
+        );
+        let s_unified = run_twip(&mut unified, &g, &w, 500);
+        // The unified command path serves the identical timelines.
+        assert_eq!(s_direct.entries_returned, s_unified.entries_returned);
+        assert_eq!(unified.name(), "engine");
+    }
+
+    #[test]
+    fn client_fanout_matches_server_joins() {
+        let g = small_graph();
+        let mix = TwipMix {
+            active_fraction: 0.4,
+            checks_per_user: 4,
+            seed: 7,
+            ..TwipMix::default()
+        };
+        let w = TwipWorkload::generate(&g, &mix);
+        let mut joins = ClientTwip::new(
+            Box::new(Engine::new(EngineConfig::default())),
+            TwipStrategy::ServerJoins,
+        );
+        let s_joins = run_twip(&mut joins, &g, &w, 300);
+        // The same backend type without joins: the driver fans out.
+        let mut fanout = ClientTwip::new(
+            Box::new(Engine::new(EngineConfig::default())),
+            TwipStrategy::ClientFanout,
+        );
+        let s_fanout = run_twip(&mut fanout, &g, &w, 300);
+        assert_eq!(s_joins.entries_returned, s_fanout.entries_returned);
+        // ...and pays many more RPCs for it.
+        assert!(
+            s_fanout.rpcs > s_joins.rpcs,
+            "fanout {} vs joins {}",
+            s_fanout.rpcs,
+            s_joins.rpcs
         );
     }
 

@@ -28,9 +28,7 @@ impl Zipf {
         let h = |x: f64| -> f64 { ((1.0 - alpha) * x.ln()).exp_m1() / (1.0 - alpha) + x };
         // H(x) = integral of x^-alpha; using the shifted form keeps
         // precision for alpha near 1.
-        let hh = |x: f64| -> f64 {
-            ((1.0 - alpha) * (1.0 + x).ln()).exp() / (1.0 - alpha)
-        };
+        let hh = |x: f64| -> f64 { ((1.0 - alpha) * (1.0 + x).ln()).exp() / (1.0 - alpha) };
         let _ = h;
         let h_x1 = hh(1.5) - 1.0f64.powf(-alpha);
         let h_n = hh(n as f64 + 0.5);
@@ -62,9 +60,7 @@ impl Zipf {
             let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
             let x = self.hinv(u);
             let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
-            if k - x <= self.s
-                || u >= self.hh(k - 0.5) - (-self.alpha * k.ln()).exp()
-            {
+            if k - x <= self.s || u >= self.hh(k - 0.5) - (-self.alpha * k.ln()).exp() {
                 return k as u64;
             }
         }

@@ -13,7 +13,10 @@ fn main() {
     let mut site = PequodNewp::new(Engine::new(EngineConfig::default()), true);
 
     // kat authors an article; people vote and comment.
-    site.load("article|n000007|0000001".into(), "Cache joins considered delightful");
+    site.load(
+        "article|n000007|0000001".into(),
+        "Cache joins considered delightful",
+    );
     site.vote(7, 1, 21);
     site.vote(7, 1, 22);
     site.comment(7, 1, 1, 42, "great read!");
@@ -24,9 +27,7 @@ fn main() {
     site.vote(42, 9, 22);
 
     // One ordered scan renders the whole page.
-    let page = site
-        .engine
-        .scan(&KeyRange::prefix("page|n000007|0000001|"));
+    let page = site.engine.scan(&KeyRange::prefix("page|n000007|0000001|"));
     println!("page|n000007|0000001| scan:");
     for (k, v) in &page.pairs {
         println!("  {k} = {}", String::from_utf8_lossy(v));
@@ -38,9 +39,12 @@ fn main() {
     site.vote(7, 1, 23);
     let rank = site
         .engine
-        .get_value(&Key::from("page|n000007|0000001|r"))
+        .get(&Key::from("page|n000007|0000001|r"))
         .unwrap();
-    println!("\nafter one more vote, rank = {}", String::from_utf8_lossy(&rank));
+    println!(
+        "\nafter one more vote, rank = {}",
+        String::from_utf8_lossy(&rank)
+    );
     assert_eq!(&rank[..], b"3");
 
     // And a vote on the commenter's own article updates their karma in
@@ -48,8 +52,11 @@ fn main() {
     site.vote(42, 9, 23);
     let karma = site
         .engine
-        .get_value(&Key::from("page|n000007|0000001|k|000001|n000042"))
+        .get(&Key::from("page|n000007|0000001|k|000001|n000042"))
         .unwrap();
-    println!("commenter karma on the page = {}", String::from_utf8_lossy(&karma));
+    println!(
+        "commenter karma on the page = {}",
+        String::from_utf8_lossy(&karma)
+    );
     assert_eq!(&karma[..], b"4");
 }

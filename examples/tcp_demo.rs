@@ -28,6 +28,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A second client sees the same cache.
     let mut other = TcpClient::connect(server.addr())?;
     let v = other.get("t|ann|0000000100|bob")?;
-    println!("second connection read: {:?}", v.map(|v| String::from_utf8_lossy(&v).into_owned()));
+    println!(
+        "second connection read: {:?}",
+        v.map(|v| String::from_utf8_lossy(&v).into_owned())
+    );
     Ok(())
 }

@@ -58,6 +58,8 @@ fn main() {
         plain_stats.entries_returned, celeb_stats.entries_returned
     );
     assert_eq!(plain_stats.entries_returned, celeb_stats.entries_returned);
-    println!("\nsame timelines delivered; celebrity join trades a little read
-computation for not storing celebrity tweets once per follower (§2.3).");
+    println!(
+        "\nsame timelines delivered; celebrity join trades a little read
+computation for not storing celebrity tweets once per follower (§2.3)."
+    );
 }

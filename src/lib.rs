@@ -21,20 +21,45 @@
 //!   generators.
 //! * [`baselines`] — the comparison systems of the paper's Figure 7.
 //!
+//! # One client surface, many backends
+//!
+//! Every deployment shape implements the batched
+//! [`Client`](crate::core::Client) trait — one
+//! [`Command`](crate::core::Command)/[`Response`](crate::core::Response)
+//! vocabulary over the in-process engine, the write-around deployment,
+//! a partitioned cluster, and the baseline stores — so the same code
+//! drives any of them:
+//!
 //! ```
 //! use pequod::prelude::*;
 //!
-//! let mut engine = Engine::new_default();
-//! engine
-//!     .add_join_text(
-//!         "t|<user>|<time:10>|<poster> = check s|<user>|<poster> copy p|<poster>|<time:10>",
-//!     )
-//!     .unwrap();
-//! engine.put("s|ann|bob", "1");
-//! engine.put("p|bob|0000000100", "Hi");
-//! let timeline = engine.scan(&KeyRange::prefix("t|ann|"));
-//! assert_eq!(timeline.pairs.len(), 1);
+//! // Write once against `dyn Client`...
+//! fn timeline_demo(client: &mut dyn Client) -> u64 {
+//!     client
+//!         .add_join(
+//!             "t|<user>|<time:10>|<poster> = check s|<user>|<poster> copy p|<poster>|<time:10>",
+//!         )
+//!         .unwrap();
+//!     client.execute_batch(vec![
+//!         Command::Put(Key::from("s|ann|bob"), Value::from_static(b"1")),
+//!         Command::Put(Key::from("p|bob|0000000100"), Value::from_static(b"Hi")),
+//!     ]);
+//!     // Counts are served server-side: no pairs cross the boundary.
+//!     client.count(&KeyRange::prefix("t|ann|"))
+//! }
+//!
+//! // ...run it against an in-process engine...
+//! assert_eq!(timeline_demo(&mut Engine::new_default()), 1);
+//!
+//! // ...or a cache in front of a database, unchanged.
+//! let mut wa = pequod::db::WriteAround::new(Engine::new_default(), &["p|", "s|"]);
+//! assert_eq!(timeline_demo(&mut wa), 1);
 //! ```
+//!
+//! `pequod::net::ClusterClient` (a partitioned cluster pipelining each
+//! batch as one frame per destination server) and the join-less
+//! baseline stores in [`baselines`] plug into the same function; see
+//! `examples/unified_clients.rs` and `tests/client_conformance.rs`.
 
 pub use pequod_baselines as baselines;
 pub use pequod_core as core;
@@ -46,7 +71,10 @@ pub use pequod_workloads as workloads;
 
 /// The most common imports.
 pub mod prelude {
-    pub use pequod_core::{Engine, EngineConfig, MaterializationMode, ScanResult};
+    pub use pequod_core::{
+        BackendStats, Client, Command, Engine, EngineConfig, MaterializationMode, Response,
+        ScanResult,
+    };
     pub use pequod_join::{JoinSpec, Maintenance, Operator};
     pub use pequod_store::{Key, KeyRange, Store, StoreConfig, UpperBound, Value};
 }

@@ -1,0 +1,245 @@
+//! Conformance suite for the unified client API: the same command
+//! script runs against every backend — in-process engine, write-around
+//! deployment, simulated cluster, and the three baseline stores — and
+//! must produce the identical response sequence. This is the contract
+//! that makes the figure binaries' `--backend` flag meaningful: any
+//! backend that passes here is a drop-in for any other.
+
+use pequod::baselines::{MemcachedClient, MiniDbClient, RedisClient};
+use pequod::core::{Client, Command, Engine, EngineConfig, Response};
+use pequod::db::WriteAround;
+use pequod::net::{ClusterClient, ServerId, ServerNode, SimCluster, SimConfig, TablePartition};
+use pequod::prelude::*;
+use std::sync::Arc;
+
+/// Tables the scripts touch; write-around and cluster deployments treat
+/// them as database-resident / partitioned respectively.
+const TABLES: &[&str] = &["p|", "s|", "t|", "acct|"];
+
+const TIMELINE: &str =
+    "t|<user>|<time:10>|<poster> = check s|<user>|<poster> copy p|<poster>|<time:10>";
+
+fn k(s: &str) -> Key {
+    Key::from(s)
+}
+
+fn v(s: &str) -> Value {
+    Value::from(s.as_bytes().to_vec())
+}
+
+/// A named factory, so each scenario starts from a fresh instance.
+type BackendFactory = (&'static str, Box<dyn Fn() -> Box<dyn Client>>);
+
+fn backends(join_capable_only: bool) -> Vec<BackendFactory> {
+    let mut out: Vec<BackendFactory> = vec![
+        (
+            "engine",
+            Box::new(|| Box::new(Engine::new(EngineConfig::default())) as Box<dyn Client>),
+        ),
+        (
+            "writearound",
+            Box::new(|| {
+                Box::new(WriteAround::new(
+                    Engine::new(EngineConfig::default()),
+                    &["p|", "s|", "acct|"],
+                )) as Box<dyn Client>
+            }),
+        ),
+        (
+            "cluster",
+            Box::new(|| {
+                // Two servers: posts homed on server 1, the rest on 0,
+                // so the script crosses a partition boundary.
+                let part = Arc::new(TablePartition::new(ServerId(0)).route("p|", ServerId(1)));
+                let nodes = (0..2)
+                    .map(|i| {
+                        ServerNode::new(
+                            ServerId(i),
+                            Engine::new(EngineConfig::default()),
+                            part.clone(),
+                            TABLES,
+                        )
+                    })
+                    .collect();
+                Box::new(ClusterClient::new(
+                    SimCluster::new(SimConfig::default(), nodes),
+                    part,
+                )) as Box<dyn Client>
+            }),
+        ),
+    ];
+    if !join_capable_only {
+        out.push((
+            "redis",
+            Box::new(|| Box::new(RedisClient::new()) as Box<dyn Client>),
+        ));
+        out.push((
+            "memcached",
+            Box::new(|| Box::new(MemcachedClient::new()) as Box<dyn Client>),
+        ));
+        out.push((
+            "minidb",
+            Box::new(|| Box::new(MiniDbClient::new()) as Box<dyn Client>),
+        ));
+    }
+    out
+}
+
+/// Plain KV commands every backend must answer identically (no joins —
+/// the baselines reject those, which `addjoin_rejection_is_explicit`
+/// covers separately).
+fn kv_script() -> Vec<Command> {
+    vec![
+        Command::Put(k("p|bob|0000000100"), v("Hi")),
+        Command::Put(k("p|bob|0000000120"), v("again")),
+        Command::Put(k("p|liz|0000000110"), v("hello")),
+        Command::Put(k("acct|ann"), v("1000")),
+        Command::Get(k("p|bob|0000000100")),
+        Command::Get(k("p|zed|0000000001")), // absent
+        Command::Scan(KeyRange::prefix("p|bob|")),
+        Command::Scan(KeyRange::prefix("p|")),
+        Command::Scan(KeyRange::prefix("s|")), // empty table
+        Command::Count(KeyRange::prefix("p|")),
+        Command::Count(KeyRange::prefix("acct|")),
+        Command::Count(KeyRange::prefix("s|")), // zero
+        Command::Put(k("p|bob|0000000100"), v("edited")), // overwrite
+        Command::Get(k("p|bob|0000000100")),
+        Command::Count(KeyRange::prefix("p|bob|")), // still 2
+        Command::Remove(k("p|bob|0000000120")),
+        Command::Remove(k("p|bob|0000000999")), // absent: no-op
+        Command::Scan(KeyRange::prefix("p|bob|")),
+        Command::Count(KeyRange::prefix("p|")),
+        Command::Scan(KeyRange::new("p|bob|0000000100", "p|liz|0000000111")),
+        Command::Get(k("acct|ann")),
+        Command::Remove(k("acct|ann")),
+        Command::Get(k("acct|ann")),
+        // A table no deployment declared up front: the write-around
+        // backend must still serve it (cache-resident), identically.
+        Command::Put(k("misc|x"), v("42")),
+        Command::Get(k("misc|x")),
+        Command::Count(KeyRange::prefix("misc|")),
+        Command::Remove(k("misc|x")),
+        Command::Get(k("misc|x")),
+    ]
+}
+
+/// A script exercising cache joins, for the join-capable backends:
+/// installs the timeline join, mixes writes and reads, counts
+/// server-side, and checks incremental maintenance of removals.
+fn join_script() -> Vec<Command> {
+    vec![
+        Command::AddJoin(TIMELINE.to_string()),
+        Command::Put(k("s|ann|bob"), v("1")),
+        Command::Put(k("s|cat|bob"), v("1")),
+        Command::Put(k("p|bob|0000000100"), v("Hi")),
+        Command::Scan(KeyRange::prefix("t|ann|")),
+        Command::Count(KeyRange::prefix("t|cat|")),
+        Command::Put(k("p|bob|0000000120"), v("again")),
+        Command::Scan(KeyRange::prefix("t|ann|")),
+        Command::Count(KeyRange::prefix("t|ann|")),
+        Command::Get(k("t|cat|0000000120|bob")),
+        Command::Remove(k("p|bob|0000000100")),
+        Command::Scan(KeyRange::prefix("t|ann|")),
+        Command::Count(KeyRange::prefix("t|cat|")),
+        Command::Put(k("s|ann|liz"), v("1")),
+        Command::Put(k("p|liz|0000000130"), v("hello")),
+        Command::Count(KeyRange::prefix("t|ann|")),
+        Command::Scan(KeyRange::prefix("t|cat|")),
+    ]
+}
+
+/// Runs a script and labels each response with its command index for
+/// readable mismatch reports.
+fn run_script(client: &mut dyn Client, script: Vec<Command>) -> Vec<(usize, Response)> {
+    client
+        .execute_batch(script)
+        .into_iter()
+        .enumerate()
+        .collect()
+}
+
+fn assert_all_agree(script_of: fn() -> Vec<Command>, join_capable_only: bool) {
+    let mut reference: Option<(&str, Vec<(usize, Response)>)> = None;
+    for (name, make) in backends(join_capable_only) {
+        let mut client = make();
+        assert_eq!(client.backend_name(), name);
+        let got = run_script(&mut *client, script_of());
+        match &reference {
+            None => reference = Some((name, got)),
+            Some((ref_name, want)) => {
+                assert_eq!(
+                    &got, want,
+                    "{name} answered the script differently from {ref_name}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_backends_agree_on_the_kv_script() {
+    assert_all_agree(kv_script, false);
+}
+
+#[test]
+fn join_capable_backends_agree_on_the_join_script() {
+    assert_all_agree(join_script, true);
+}
+
+/// One big batch and the same commands issued one at a time must be
+/// indistinguishable (batching is a transport optimization, not a
+/// semantic one).
+#[test]
+fn batched_equals_one_at_a_time() {
+    for (name, make) in backends(true) {
+        let mut batched = make();
+        let batched_out = batched.execute_batch(join_script());
+        let mut single = make();
+        let single_out: Vec<Response> = join_script()
+            .into_iter()
+            .map(|c| single.execute(c))
+            .collect();
+        assert_eq!(batched_out, single_out, "{name}: batch != singles");
+    }
+    for (name, make) in backends(false) {
+        let mut batched = make();
+        let batched_out = batched.execute_batch(kv_script());
+        let mut single = make();
+        let single_out: Vec<Response> =
+            kv_script().into_iter().map(|c| single.execute(c)).collect();
+        assert_eq!(batched_out, single_out, "{name}: batch != singles");
+    }
+}
+
+/// Join-less backends reject joins with an error response rather than
+/// silently dropping them, and keep answering later commands.
+#[test]
+fn addjoin_rejection_is_explicit() {
+    for make in [
+        || Box::new(RedisClient::new()) as Box<dyn Client>,
+        || Box::new(MemcachedClient::new()) as Box<dyn Client>,
+        || Box::new(MiniDbClient::new()) as Box<dyn Client>,
+    ] {
+        let mut client = make();
+        let out = client.execute_batch(vec![
+            Command::AddJoin(TIMELINE.to_string()),
+            Command::Put(k("p|bob|0000000100"), v("Hi")),
+            Command::Count(KeyRange::prefix("p|")),
+        ]);
+        assert!(matches!(out[0], Response::Error(_)));
+        assert_eq!(out[1], Response::Ok);
+        assert_eq!(out[2], Response::Count(1));
+    }
+}
+
+/// Stats is the one command whose payload legitimately differs per
+/// backend; every backend must still answer it with the right variant.
+#[test]
+fn stats_answers_with_the_stats_variant() {
+    for (name, make) in backends(false) {
+        let mut client = make();
+        client.put(&k("p|bob|0000000100"), &v("Hi"));
+        let stats = client.stats();
+        assert!(stats.keys >= 1, "{name} reported no keys");
+    }
+}

@@ -5,7 +5,9 @@
 use pequod::baselines::{ClientPequodTwip, MemcachedTwip, PostgresTwip, RedisTwip};
 use pequod::core::{Engine, EngineConfig, MaterializationMode};
 use pequod::db::WriteAround;
-use pequod::net::{ServerId, ServerNode, SimCluster, SimConfig, TablePartition, TcpClient, TcpServer};
+use pequod::net::{
+    ServerId, ServerNode, SimCluster, SimConfig, TablePartition, TcpClient, TcpServer,
+};
 use pequod::prelude::*;
 use pequod::workloads::graph::{GraphConfig, SocialGraph};
 use pequod::workloads::twip::{run_twip, PequodTwip, TwipMix, TwipWorkload};
@@ -92,8 +94,18 @@ fn distributed_matches_single_engine() {
     // Cluster: base on 0, compute on 1.
     let part = Arc::new(TablePartition::new(ServerId(0)));
     let nodes = vec![
-        ServerNode::new(ServerId(0), Engine::new(EngineConfig::default()), part.clone(), &["p|", "s|"]),
-        ServerNode::new(ServerId(1), Engine::new(EngineConfig::default()), part, &["p|", "s|"]),
+        ServerNode::new(
+            ServerId(0),
+            Engine::new(EngineConfig::default()),
+            part.clone(),
+            &["p|", "s|"],
+        ),
+        ServerNode::new(
+            ServerId(1),
+            Engine::new(EngineConfig::default()),
+            part,
+            &["p|", "s|"],
+        ),
     ];
     let mut cluster = SimCluster::new(SimConfig::default(), nodes);
     cluster.add_joins_everywhere(TIMELINE);
@@ -183,8 +195,10 @@ fn materialization_modes_agree() {
     ]
     .iter()
     .map(|mode| {
-        let mut cfg = EngineConfig::default();
-        cfg.materialization = *mode;
+        let cfg = EngineConfig {
+            materialization: *mode,
+            ..EngineConfig::default()
+        };
         let mut e = Engine::new(cfg);
         e.add_join_text(TIMELINE).unwrap();
         e

@@ -2,12 +2,12 @@
 //! adversarial bytes, the cluster simulator is deterministic, and the
 //! join grammar round-trips through its printer.
 
-use proptest::prelude::*;
 use pequod::core::{Engine, EngineConfig};
 use pequod::join::JoinSpec;
 use pequod::net::codec::{decode, decode_frame, encode_frame};
 use pequod::net::{Message, ServerId, ServerNode, SimCluster, SimConfig, TablePartition};
 use pequod::prelude::*;
+use proptest::prelude::*;
 use std::sync::Arc;
 
 proptest! {
@@ -92,7 +92,12 @@ fn simulator_is_deterministic() {
         }
         c.run_until_quiet();
         let a = c.scan(ServerId(1), KeyRange::prefix("t|u3|"));
-        (a.len(), c.traffic.delivered, c.traffic.subscription_bytes, c.now())
+        (
+            a.len(),
+            c.traffic.delivered,
+            c.traffic.subscription_bytes,
+            c.now(),
+        )
     };
     assert_eq!(run(), run());
 }
@@ -113,7 +118,9 @@ fn multi_join_torture() {
     .unwrap();
     let mut state = 1u64;
     let mut next = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as u32
     };
     for i in 0..600 {
