@@ -12,7 +12,9 @@
 //!   applying them at read time beats eager application under
 //!   subscription churn.
 
-use pequod_bench::{arg_value, mib, pequod_client, print_table, ratio, secs, twip_graph, Scale};
+use pequod_bench::{
+    arg_value, mib, pequod_client_or_exit, print_table, ratio, secs, twip_graph, Scale,
+};
 use pequod_core::{Client, EngineConfig};
 use pequod_store::StoreConfig;
 use pequod_workloads::newp::{run_newp, ClientNewp, NewpConfig};
@@ -22,13 +24,10 @@ use pequod_workloads::twip::{
 use pequod_workloads::SocialGraph;
 
 /// Builds the selected deployment behind the unified client API
-/// (`--backend {engine,writearound,cluster}`; engine by default).
+/// (`--backend {engine,sharded,writearound,cluster}`; engine by default).
 fn backend_client(cfg: EngineConfig, tables: &[&str]) -> Box<dyn Client> {
     let backend = arg_value("--backend").unwrap_or_else(|| "engine".to_string());
-    pequod_client(&backend, cfg, tables).unwrap_or_else(|| {
-        eprintln!("unknown backend {backend:?}; choices: engine, writearound, cluster");
-        std::process::exit(2);
-    })
+    pequod_client_or_exit(&backend, cfg, tables)
 }
 
 fn twip_backend(cfg: EngineConfig) -> ClientTwip {

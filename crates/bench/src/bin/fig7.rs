@@ -22,12 +22,15 @@
 //!   app-specific backend (sorted-set timelines on Redis, string
 //!   appends on memcached, triggers on the relational engine), with
 //!   system-specific costs modelled in.
-//! * **`--backend {engine,writearound,cluster,redis,memcached,minidb}`**
-//!   (or `--backend all`) — the unified-API comparison: every choice is
-//!   driven through the identical `pequod_core::Client` command stream
-//!   (`ClientTwip`). Pequod deployments serve timelines with cache
-//!   joins; join-less stores fall back to client-side fan-out. Same
-//!   driver, same commands, same meter — apples to apples.
+//! * **`--backend {engine,sharded,writearound,cluster,redis,memcached,minidb}`**
+//!   (or `--backend all`, or a comma-separated list) — the unified-API
+//!   comparison: every choice is driven through the identical
+//!   `pequod_core::Client` command stream (`ClientTwip`). Pequod
+//!   deployments serve timelines with cache joins (`sharded` spreads
+//!   them over `--shards N` engine shards); join-less stores fall back
+//!   to client-side fan-out. Same driver, same commands, same meter —
+//!   apples to apples. `--json PATH` additionally writes the results as
+//!   a JSON array (the CI bench-smoke artifact).
 
 use pequod_baselines::{ClientPequodTwip, MemcachedTwip, PostgresTwip, RedisTwip};
 use pequod_bench::{
@@ -180,7 +183,7 @@ fn run_unified(backend: &str, exp: &Experiment) {
     let names: Vec<&str> = if backend == "all" {
         TWIP_BACKENDS.to_vec()
     } else {
-        vec![backend]
+        backend.split(',').collect()
     };
     let results: Vec<(String, TwipRunStats)> =
         names.iter().map(|n| run_unified_one(n, exp)).collect();
@@ -189,6 +192,33 @@ fn run_unified(backend: &str, exp: &Experiment) {
         &results,
         &[],
     );
+    if let Some(path) = arg_value("--json") {
+        let json = results_json(&results);
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("\nwrote {path}");
+    }
+}
+
+/// Hand-rolled JSON for the results (no serde in the offline build):
+/// `[{"backend": ..., "seconds": ..., "ops": ..., "ops_per_sec": ...,
+/// "rpcs": ..., "rpc_bytes": ...}, ...]`.
+fn results_json(results: &[(String, TwipRunStats)]) -> String {
+    let rows: Vec<String> = results
+        .iter()
+        .map(|(name, s)| {
+            format!(
+                "  {{\"backend\": \"{}\", \"seconds\": {:.6}, \"ops\": {}, \
+                 \"ops_per_sec\": {:.1}, \"rpcs\": {}, \"rpc_bytes\": {}}}",
+                name,
+                s.elapsed,
+                s.ops,
+                s.ops as f64 / s.elapsed.max(1e-9),
+                s.rpcs,
+                s.rpc_bytes
+            )
+        })
+        .collect();
+    format!("[\n{}\n]\n", rows.join(",\n"))
 }
 
 fn main() {

@@ -11,7 +11,7 @@
 //! Output: one row per active-user percentage with the runtime of the
 //! no/full/dynamic strategies (log-scale shape in the paper).
 
-use pequod_bench::{arg_value, pequod_client, print_table, secs, twip_graph, Scale};
+use pequod_bench::{arg_value, pequod_client_or_exit, print_table, secs, twip_graph, Scale};
 use pequod_core::{EngineConfig, MaterializationMode};
 use pequod_store::StoreConfig;
 use pequod_workloads::twip::{run_twip, ClientTwip, TwipOp, TwipStrategy, TwipWorkload};
@@ -68,7 +68,7 @@ fn main() {
     let scale = Scale::from_args();
     // The workload is driven through the unified client API, so the
     // materialization comparison runs against any join-capable
-    // deployment: `--backend {engine,writearound,cluster}`.
+    // deployment: `--backend {engine,sharded,writearound,cluster}`.
     let backend = arg_value("--backend").unwrap_or_else(|| "engine".to_string());
     let users = scale.count(1200) as u32;
     let posts = scale.count(1800);
@@ -87,10 +87,7 @@ fn main() {
         for (_, mode) in &strategies {
             let mut cfg = EngineConfig::with_store(StoreConfig::flat().with_subtable("t|", 2));
             cfg.materialization = *mode;
-            let client = pequod_client(&backend, cfg, &["p|", "s|"]).unwrap_or_else(|| {
-                eprintln!("unknown backend {backend:?}; choices: engine, writearound, cluster");
-                std::process::exit(2);
-            });
+            let client = pequod_client_or_exit(&backend, cfg, &["p|", "s|"]);
             let mut driver = ClientTwip::new(client, TwipStrategy::ServerJoins);
             // No untimed initial posts: the paper's 1M posts are part of
             // the measured workload, so materialization work (eager for

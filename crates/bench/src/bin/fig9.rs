@@ -7,7 +7,7 @@
 //! cost of precomputing page entries on every vote outweighs saving
 //! read RPCs.
 
-use pequod_bench::{arg_value, pequod_client, print_table, secs, Scale};
+use pequod_bench::{arg_value, pequod_client_or_exit, print_table, secs, Scale};
 use pequod_core::EngineConfig;
 use pequod_workloads::newp::{run_newp, ClientNewp, NewpConfig};
 
@@ -21,11 +21,7 @@ fn main() {
     // {engine,writearound,cluster}` selects the deployment.
     let backend = arg_value("--backend").unwrap_or_else(|| "engine".to_string());
     let make = |interleaved: bool| -> ClientNewp {
-        let client =
-            pequod_client(&backend, EngineConfig::default(), NEWP_TABLES).unwrap_or_else(|| {
-                eprintln!("unknown backend {backend:?}; choices: engine, writearound, cluster");
-                std::process::exit(2);
-            });
+        let client = pequod_client_or_exit(&backend, EngineConfig::default(), NEWP_TABLES);
         ClientNewp::new(client, interleaved)
     };
     let base = NewpConfig {

@@ -10,14 +10,34 @@
 //! | `fig10`     | Figure 10 — scalability vs compute servers        |
 //! | `ablations` | §4.1–§4.3 and §3.2 in-text optimization factors   |
 //!
-//! Run with `--scale S` (default 1) to grow the workload; the default
-//! finishes in seconds on a laptop while preserving the paper's ratios
-//! (edges/user, op mix, check:post ratios).
+//! # Flag conventions
+//!
+//! Every binary accepts `--scale S` (default 1) to grow the workload;
+//! the default finishes in seconds on a laptop while preserving the
+//! paper's ratios (edges/user, op mix, check:post ratios). The
+//! unified-API binaries accept `--backend NAME` where `NAME` is one of
+//! [`TWIP_BACKENDS`] (fig7 also takes `all` or a comma-separated list),
+//! and `--backend sharded` additionally honors `--shards N`
+//! ([`sharded_shards`], default 4). `fig7 --json PATH` writes the
+//! results table as a JSON array — CI's bench-smoke job uses it to
+//! publish a `BENCH_fig7_smoke.json` artifact per commit, so the
+//! performance trajectory of the repo is recorded.
+//!
+//! # What this crate provides
+//!
+//! The library holds the pieces every binary shares: command-line
+//! parsing ([`Scale`], [`arg_value`]), backend factories
+//! ([`pequod_client`], [`twip_client`]) that build any `--backend`
+//! choice behind the unified `pequod_core::Client` trait, the standard
+//! experiment graph ([`twip_graph`]), and Markdown-ish table printing
+//! ([`print_table`]). The figure binaries themselves live in
+//! `src/bin/` and `benches/micro.rs` holds criterion microbenchmarks
+//! for the hot engine paths.
 
 #![warn(missing_docs)]
 
 use pequod_baselines::{MemcachedClient, MiniDbClient, RedisClient};
-use pequod_core::{Client, Engine, EngineConfig};
+use pequod_core::{Client, Engine, EngineConfig, ShardedEngine};
 use pequod_db::WriteAround;
 use pequod_net::{
     ClusterClient, ComponentHashPartition, ServerId, ServerNode, SimCluster, SimConfig,
@@ -65,6 +85,7 @@ pub fn arg_value(flag: &str) -> Option<String> {
 /// Every backend the unified-API Twip comparison accepts.
 pub const TWIP_BACKENDS: &[&str] = &[
     "engine",
+    "sharded",
     "writearound",
     "cluster",
     "redis",
@@ -75,20 +96,50 @@ pub const TWIP_BACKENDS: &[&str] = &[
 /// Number of servers in `--backend cluster` deployments.
 const CLUSTER_SERVERS: u32 = 2;
 
+/// Default shard count for `--backend sharded` (override with
+/// `--shards N`).
+const DEFAULT_SHARDS: u32 = 4;
+
+/// The `--shards N` flag for `--backend sharded` deployments
+/// (default `DEFAULT_SHARDS`, i.e. 4).
+pub fn sharded_shards() -> u32 {
+    arg_value("--shards")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SHARDS)
+}
+
 /// Builds a join-capable Pequod deployment as a unified-API backend.
 ///
 /// * `engine` — one in-process [`Engine`].
+/// * `sharded` — a multi-core [`ShardedEngine`] of `--shards N`
+///   (default 4) single-threaded engine shards, the listed `tables`
+///   partitioned across shards by hashing the second key component
+///   (user/author), cross-shard joins kept fresh by in-process
+///   subscriptions.
 /// * `writearound` — an [`Engine`] in front of a database; the listed
 ///   `tables` live in the database.
-/// * `cluster` — a simulated deployment of [`CLUSTER_SERVERS`] servers
-///   with the listed `tables` partitioned by hashing the second key
-///   component (user/author), so one user's data co-locates.
+/// * `cluster` — a simulated deployment of `CLUSTER_SERVERS` (2)
+///   servers with the listed `tables` partitioned by hashing the second
+///   key component, so one user's data co-locates.
 ///
 /// Returns `None` for unknown names (the join-less baselines are built
 /// by [`twip_client`]).
 pub fn pequod_client(name: &str, cfg: EngineConfig, tables: &[&str]) -> Option<Box<dyn Client>> {
     match name {
         "engine" => Some(Box::new(Engine::new(cfg))),
+        "sharded" => {
+            let shards = sharded_shards();
+            let part = Arc::new(ComponentHashPartition {
+                component: 1,
+                servers: shards,
+            });
+            Some(Box::new(ShardedEngine::new(
+                shards as usize,
+                cfg,
+                part,
+                tables,
+            )))
+        }
         "writearound" => Some(Box::new(WriteAround::new(Engine::new(cfg), tables))),
         "cluster" => {
             let part = Arc::new(ComponentHashPartition {
@@ -105,6 +156,16 @@ pub fn pequod_client(name: &str, cfg: EngineConfig, tables: &[&str]) -> Option<B
         }
         _ => None,
     }
+}
+
+/// [`pequod_client`], or print the canonical usage message and exit —
+/// the shared error path of `fig8`, `fig9`, and `ablations`, so the
+/// choices list cannot drift between binaries.
+pub fn pequod_client_or_exit(name: &str, cfg: EngineConfig, tables: &[&str]) -> Box<dyn Client> {
+    pequod_client(name, cfg, tables).unwrap_or_else(|| {
+        eprintln!("unknown backend {name:?}; choices: engine, sharded, writearound, cluster");
+        std::process::exit(2);
+    })
 }
 
 /// Builds any `--backend` choice for the Twip experiment, paired with

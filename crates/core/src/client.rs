@@ -93,6 +93,34 @@ pub trait Client {
 
     /// Executes a batch of commands, returning one response per command
     /// in order.
+    ///
+    /// Batching is a transport optimization, never a semantic one: a
+    /// batch must answer exactly like the same commands issued one at a
+    /// time (`tests/client_conformance.rs` asserts this for every
+    /// backend).
+    ///
+    /// ```
+    /// use pequod_core::{Client, Command, Engine, Response};
+    /// use pequod_store::{Key, KeyRange, Value};
+    ///
+    /// let mut engine = Engine::new_default();
+    /// let client: &mut dyn Client = &mut engine;
+    /// let responses = client.execute_batch(vec![
+    ///     Command::Put(Key::from("p|bob|0000000100"), Value::from_static(b"Hi")),
+    ///     Command::Get(Key::from("p|bob|0000000100")),
+    ///     Command::Count(KeyRange::prefix("p|")),
+    ///     Command::Get(Key::from("p|zed|0000000001")), // absent
+    /// ]);
+    /// assert_eq!(
+    ///     responses,
+    ///     vec![
+    ///         Response::Ok,
+    ///         Response::Value(Some(Value::from_static(b"Hi"))),
+    ///         Response::Count(1),
+    ///         Response::Value(None),
+    ///     ]
+    /// );
+    /// ```
     fn execute_batch(&mut self, commands: Vec<Command>) -> Vec<Response>;
 
     /// Executes one command.

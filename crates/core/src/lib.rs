@@ -36,9 +36,16 @@
 //!   `add_join`, plus remote-table residency ([`Engine::install_base`])
 //!   and eviction.
 //! * [`client`] — the unified [`Client`] trait: one batched
-//!   command/response surface implemented by the engine, the
-//!   write-around deployment, the cluster client, and the comparison
-//!   systems.
+//!   command/response surface implemented by the engine, the sharded
+//!   engine, the write-around deployment, the cluster client, and the
+//!   comparison systems.
+//! * [`partition`] — key-routing (home servers, §2.4), shared between
+//!   the distributed tier in `pequod_net` and the in-process sharded
+//!   engine.
+//! * [`sharded`] — [`ShardedEngine`]: N single-threaded engine shards
+//!   (one worker thread each) kept fresh across shards by mirroring the
+//!   server-level Subscribe/Notify protocol over in-process channels,
+//!   so one node scales with cores.
 //! * [`status`] — join status ranges: which output ranges are
 //!   materialized and whether they are valid (§3.2).
 //! * [`updater`] — the interval-tree index of incremental-maintenance
@@ -54,6 +61,8 @@ pub mod client;
 pub mod config;
 mod engine;
 mod exec;
+pub mod partition;
+pub mod sharded;
 pub mod status;
 pub mod types;
 pub mod updater;
@@ -61,4 +70,5 @@ pub mod updater;
 pub use client::{BackendStats, Client, Command, Response};
 pub use config::{EngineConfig, EngineStats, MaterializationMode};
 pub use engine::{Engine, EvictUnit};
+pub use sharded::{ShardStats, ShardedEngine, ShardedHandle};
 pub use types::{CountResult, EngineError, JoinId, JsId, ScanResult, WriteKind};

@@ -22,7 +22,14 @@
 //!   a cluster: commands are routed by the partition function and
 //!   pipelined as one batched frame per destination server.
 //! * [`TcpServer`] / [`TcpClient`] — a real blocking TCP transport for a
-//!   single server over loopback or LAN.
+//!   single node over loopback or LAN, serving either one
+//!   single-threaded engine or a multi-core
+//!   [`pequod_core::ShardedEngine`]
+//!   ([`TcpServer::spawn_sharded`]).
+//!
+//! The [`partition`] module re-exports `pequod_core::partition`: the
+//! same key-routing functions place data on server processes here and
+//! on in-process engine shards in `pequod_core::sharded`.
 
 #![warn(missing_docs)]
 
@@ -253,6 +260,69 @@ mod tests {
             client.add_join("nonsense"),
             Err(ClientError::Remote(_))
         ));
+    }
+
+    #[test]
+    fn tcp_sharded_round_trip() {
+        use pequod_core::{Client, ShardedEngine};
+        let part = Arc::new(ComponentHashPartition {
+            component: 1,
+            servers: 2,
+        });
+        let mut sharded = ShardedEngine::new(2, EngineConfig::default(), part, &["p|", "s|"]);
+        sharded.add_join(TIMELINE).unwrap();
+        let server = TcpServer::spawn_sharded("127.0.0.1:0", sharded).unwrap();
+        assert!(server.engine().is_none());
+        assert!(server.sharded().is_some());
+        let mut client = TcpClient::connect(server.addr()).unwrap();
+
+        client.put("s|ann|bob", "1").unwrap();
+        client.put("p|bob|0000000100", "Hi").unwrap();
+        // Timeline computed across shards, served over the wire.
+        assert_eq!(client.count(KeyRange::prefix("t|ann|")).unwrap(), 1);
+        let tl = client.scan(KeyRange::prefix("t|ann|")).unwrap();
+        assert_eq!(tl.len(), 1);
+        assert_eq!(
+            client.get("t|ann|0000000100|bob").unwrap().as_deref(),
+            Some(&b"Hi"[..])
+        );
+        client.remove("p|bob|0000000100").unwrap();
+        assert_eq!(client.count(KeyRange::prefix("t|ann|")).unwrap(), 0);
+        assert!(matches!(
+            client.add_join("nonsense"),
+            Err(ClientError::Remote(_))
+        ));
+    }
+
+    #[test]
+    fn tcp_sharded_multiple_clients() {
+        use pequod_core::ShardedEngine;
+        let part = Arc::new(ComponentHashPartition {
+            component: 1,
+            servers: 4,
+        });
+        let sharded = ShardedEngine::new(4, EngineConfig::default(), part, &["k|"]);
+        let server = TcpServer::spawn_sharded("127.0.0.1:0", sharded).unwrap();
+        let addr = server.addr();
+        let writers: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut c = TcpClient::connect(addr).unwrap();
+                    for j in 0..25 {
+                        c.put(format!("k|{i}|{j:03}"), "v").unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        // Each writer's keys co-locate on one shard; count each prefix.
+        let mut c = TcpClient::connect(addr).unwrap();
+        let total: u64 = (0..4)
+            .map(|i| c.count(KeyRange::prefix(format!("k|{i}|"))).unwrap())
+            .sum();
+        assert_eq!(total, 100);
     }
 
     #[test]

@@ -1,140 +1,12 @@
-//! Partition functions: mapping key ranges to home servers (§2.4).
+//! Partition functions, re-exported from `pequod_core::partition`.
 //!
-//! "Each base key has a home server to which updates are directed (a
-//! partition function maps key ranges to home servers)." Computed data
-//! is placed by client routing instead — e.g. Twip sends all timeline
-//! checks for user `u` to server `S(u)`.
+//! The key-routing logic (home servers, §2.4) is shared between this
+//! crate's distributed tier — which routes commands to server
+//! *processes* — and `pequod_core::ShardedEngine`, which reuses the same
+//! functions to route commands to in-process engine *shards*. The
+//! implementation lives in `pequod_core::partition`; this module keeps
+//! the historical `pequod_net::partition` paths working.
 
-use pequod_store::Key;
-
-/// A server identity within one deployment.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
-pub struct ServerId(pub u32);
-
-/// Maps keys to their home server.
-pub trait Partition: Send + Sync {
-    /// The home server of `key`.
-    fn home_of(&self, key: &Key) -> ServerId;
-}
-
-/// Everything lives on one server.
-#[derive(Clone, Copy, Debug)]
-pub struct SingleServer(pub ServerId);
-
-impl Partition for SingleServer {
-    fn home_of(&self, _key: &Key) -> ServerId {
-        self.0
-    }
-}
-
-/// Assigns whole tables (first key component) to servers, with a
-/// default for unlisted tables.
-#[derive(Clone, Debug)]
-pub struct TablePartition {
-    map: Vec<(Key, ServerId)>,
-    default: ServerId,
-}
-
-impl TablePartition {
-    /// Creates a table partition with the given default home.
-    pub fn new(default: ServerId) -> TablePartition {
-        TablePartition {
-            map: Vec::new(),
-            default,
-        }
-    }
-
-    /// Routes the table owning `prefix` to `server`.
-    pub fn route(mut self, prefix: impl Into<Key>, server: ServerId) -> TablePartition {
-        self.map.push((prefix.into(), server));
-        self
-    }
-}
-
-impl Partition for TablePartition {
-    fn home_of(&self, key: &Key) -> ServerId {
-        let table = key.table_prefix();
-        self.map
-            .iter()
-            .find(|(p, _)| *p == table)
-            .map(|(_, s)| *s)
-            .unwrap_or(self.default)
-    }
-}
-
-/// Hashes one `|`-separated key component across `n` servers: the Twip
-/// deployment hashes the user/poster component so a user's posts,
-/// subscriptions, and timeline land on one server.
-#[derive(Clone, Copy, Debug)]
-pub struct ComponentHashPartition {
-    /// Which component to hash (0 = table name, 1 = user, ...).
-    pub component: usize,
-    /// Number of servers.
-    pub servers: u32,
-}
-
-impl ComponentHashPartition {
-    /// The server a raw component value hashes to.
-    pub fn server_for_component(&self, component: &[u8]) -> ServerId {
-        ServerId((fnv1a(component) % self.servers as u64) as u32)
-    }
-}
-
-impl Partition for ComponentHashPartition {
-    fn home_of(&self, key: &Key) -> ServerId {
-        let comp = key
-            .components()
-            .nth(self.component)
-            .unwrap_or(key.as_bytes());
-        self.server_for_component(comp)
-    }
-}
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn table_partition_routes_by_table() {
-        let p = TablePartition::new(ServerId(0))
-            .route("p|", ServerId(1))
-            .route("s|", ServerId(2));
-        assert_eq!(p.home_of(&Key::from("p|bob|100")), ServerId(1));
-        assert_eq!(p.home_of(&Key::from("s|ann|bob")), ServerId(2));
-        assert_eq!(p.home_of(&Key::from("t|ann|1")), ServerId(0));
-    }
-
-    #[test]
-    fn component_hash_is_stable_and_colocates() {
-        let p = ComponentHashPartition {
-            component: 1,
-            servers: 4,
-        };
-        // A user's posts and subscriptions land on the same server.
-        let a = p.home_of(&Key::from("p|bob|100"));
-        let b = p.home_of(&Key::from("s|bob|ann"));
-        assert_eq!(a, b);
-        assert_eq!(a, p.home_of(&Key::from("p|bob|999")));
-        assert!(a.0 < 4);
-        // Different users spread across servers (statistically).
-        let homes: std::collections::HashSet<u32> = (0..64)
-            .map(|i| p.home_of(&Key::from(format!("p|user{i}|1"))).0)
-            .collect();
-        assert!(homes.len() > 1);
-    }
-
-    #[test]
-    fn single_server_routes_everything_home() {
-        let p = SingleServer(ServerId(3));
-        assert_eq!(p.home_of(&Key::from("anything")), ServerId(3));
-    }
-}
+pub use pequod_core::partition::{
+    ComponentHashPartition, Partition, ServerId, SingleServer, TablePartition,
+};

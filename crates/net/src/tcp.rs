@@ -1,15 +1,22 @@
-//! A blocking TCP transport for a single Pequod server.
+//! A blocking TCP transport for a single Pequod node.
 //!
 //! Thread-per-connection over `std::net` with the length-prefixed frame
 //! codec (the framing discipline of the Tokio guide, without the async
-//! runtime — the engine itself is single-threaded and lives behind one
-//! mutex, matching the paper's one-process-per-core deployment where
-//! each process owns a partition of the store).
+//! runtime). Two backends:
+//!
+//! * [`TcpServer::spawn`] — one single-threaded [`Engine`] behind one
+//!   mutex, matching the paper's one-process-per-core deployment where
+//!   each process owns a partition of the store.
+//! * [`TcpServer::spawn_sharded`] — a
+//!   [`pequod_core::ShardedEngine`]: every connection
+//!   gets its own [`pequod_core::ShardedHandle`], so independent
+//!   connections execute on all shards concurrently and one node's
+//!   throughput scales with cores.
 
 use crate::codec::{decode_frame, encode_frame, CodecError};
 use crate::message::Message;
 use bytes::BytesMut;
-use pequod_core::Engine;
+use pequod_core::{Client, Command, Engine, Response, ShardedEngine, ShardedHandle};
 use pequod_store::{Key, KeyRange, Value};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -18,10 +25,28 @@ use std::sync::Arc;
 use std::sync::Mutex;
 use std::thread::JoinHandle;
 
+/// The serving backend behind a [`TcpServer`].
+enum TcpBackend {
+    /// One single-threaded engine behind a mutex; connections take the
+    /// lock per message.
+    Single(Arc<Mutex<Engine>>),
+    /// A sharded multi-core engine; each connection clones a handle.
+    Sharded(Arc<ShardedEngine>),
+}
+
+impl Clone for TcpBackend {
+    fn clone(&self) -> TcpBackend {
+        match self {
+            TcpBackend::Single(e) => TcpBackend::Single(e.clone()),
+            TcpBackend::Sharded(s) => TcpBackend::Sharded(s.clone()),
+        }
+    }
+}
+
 /// A running TCP server.
 pub struct TcpServer {
     addr: SocketAddr,
-    engine: Arc<Mutex<Engine>>,
+    backend: TcpBackend,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
 }
@@ -31,11 +56,25 @@ impl TcpServer {
     /// port). The engine must serve local data only; queries that report
     /// missing base data return an error to the client.
     pub fn spawn(addr: impl ToSocketAddrs, engine: Engine) -> std::io::Result<TcpServer> {
+        Self::spawn_backend(addr, TcpBackend::Single(Arc::new(Mutex::new(engine))))
+    }
+
+    /// Starts serving a [`ShardedEngine`] on `addr`. Each accepted
+    /// connection gets its own [`ShardedHandle`], so concurrent clients
+    /// run on all shards in parallel instead of serializing on one
+    /// engine mutex.
+    pub fn spawn_sharded(
+        addr: impl ToSocketAddrs,
+        sharded: ShardedEngine,
+    ) -> std::io::Result<TcpServer> {
+        Self::spawn_backend(addr, TcpBackend::Sharded(Arc::new(sharded)))
+    }
+
+    fn spawn_backend(addr: impl ToSocketAddrs, backend: TcpBackend) -> std::io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let engine = Arc::new(Mutex::new(engine));
         let stop = Arc::new(AtomicBool::new(false));
-        let accept_engine = engine.clone();
+        let accept_backend = backend.clone();
         let accept_stop = stop.clone();
         let accept_thread = std::thread::spawn(move || {
             for conn in listener.incoming() {
@@ -43,15 +82,25 @@ impl TcpServer {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
-                let engine = accept_engine.clone();
-                std::thread::spawn(move || {
-                    let _ = serve_connection(stream, engine);
-                });
+                match &accept_backend {
+                    TcpBackend::Single(engine) => {
+                        let engine = engine.clone();
+                        std::thread::spawn(move || {
+                            let _ = serve_connection(stream, engine);
+                        });
+                    }
+                    TcpBackend::Sharded(sharded) => {
+                        let handle = sharded.client_handle();
+                        std::thread::spawn(move || {
+                            let _ = serve_sharded_connection(stream, handle);
+                        });
+                    }
+                }
             }
         });
         Ok(TcpServer {
             addr,
-            engine,
+            backend,
             stop,
             accept_thread: Some(accept_thread),
         })
@@ -62,9 +111,21 @@ impl TcpServer {
         self.addr
     }
 
-    /// Shared access to the engine (e.g. to inspect stats).
-    pub fn engine(&self) -> Arc<Mutex<Engine>> {
-        self.engine.clone()
+    /// Shared access to the single-engine backend (e.g. to inspect
+    /// stats); `None` when the server fronts a [`ShardedEngine`].
+    pub fn engine(&self) -> Option<Arc<Mutex<Engine>>> {
+        match &self.backend {
+            TcpBackend::Single(e) => Some(e.clone()),
+            TcpBackend::Sharded(_) => None,
+        }
+    }
+
+    /// The sharded backend, when serving one (per-shard stats).
+    pub fn sharded(&self) -> Option<Arc<ShardedEngine>> {
+        match &self.backend {
+            TcpBackend::Single(_) => None,
+            TcpBackend::Sharded(s) => Some(s.clone()),
+        }
     }
 
     /// Stops accepting connections.
@@ -84,7 +145,14 @@ impl Drop for TcpServer {
     }
 }
 
-fn serve_connection(mut stream: TcpStream, engine: Arc<Mutex<Engine>>) -> std::io::Result<()> {
+/// The shared framing loop: read bytes, decode complete frames, hand
+/// each message to `handle_message`, write its replies back. Both
+/// backends serve connections through this one loop, so framing fixes
+/// cannot diverge between them.
+fn serve_frames(
+    mut stream: TcpStream,
+    mut handle_message: impl FnMut(Message) -> Vec<Message>,
+) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
     let mut buf = BytesMut::with_capacity(8 * 1024);
     let mut chunk = [0u8; 16 * 1024];
@@ -93,7 +161,7 @@ fn serve_connection(mut stream: TcpStream, engine: Arc<Mutex<Engine>>) -> std::i
         loop {
             match decode_frame(&mut buf) {
                 Ok(Some(msg)) => {
-                    for reply in handle_client_message(&engine, msg) {
+                    for reply in handle_message(msg) {
                         stream.write_all(&encode_frame(&reply))?;
                     }
                 }
@@ -109,6 +177,70 @@ fn serve_connection(mut stream: TcpStream, engine: Arc<Mutex<Engine>>) -> std::i
         }
         buf.extend_from_slice(&chunk[..n]);
     }
+}
+
+fn serve_connection(stream: TcpStream, engine: Arc<Mutex<Engine>>) -> std::io::Result<()> {
+    serve_frames(stream, move |msg| handle_client_message(&engine, msg))
+}
+
+fn serve_sharded_connection(stream: TcpStream, mut handle: ShardedHandle) -> std::io::Result<()> {
+    serve_frames(stream, move |msg| handle_sharded_message(&mut handle, msg))
+}
+
+/// Translates one wire message into unified-client commands and back.
+/// A `Batch` frame becomes one pipelined `execute_batch` call, so the
+/// sharded engine fans the whole frame out across shards at once.
+fn handle_sharded_message(handle: &mut ShardedHandle, msg: Message) -> Vec<Message> {
+    let msgs = match msg {
+        Message::Batch { msgs } => msgs,
+        other => vec![other],
+    };
+    let mut ids: Vec<u64> = Vec::with_capacity(msgs.len());
+    let mut keys: Vec<Option<Key>> = Vec::with_capacity(msgs.len());
+    let mut commands: Vec<Command> = Vec::with_capacity(msgs.len());
+    let mut replies: Vec<Message> = Vec::new();
+    for m in msgs {
+        let (id, key, command) = match m {
+            Message::Get { id, key } => (id, Some(key.clone()), Command::Get(key)),
+            Message::Scan { id, range } => (id, None, Command::Scan(range)),
+            Message::Count { id, range } => (id, None, Command::Count(range)),
+            Message::Put { id, key, value } => (id, None, Command::Put(key, value)),
+            Message::Remove { id, key } => (id, None, Command::Remove(key)),
+            Message::AddJoin { id, text } => (id, None, Command::AddJoin(text)),
+            // Server-to-server traffic is not accepted on the client
+            // port; inter-shard traffic stays on in-process channels.
+            other => {
+                replies.push(Message::error(
+                    other.id().unwrap_or(0),
+                    "unsupported on client connection",
+                ));
+                continue;
+            }
+        };
+        ids.push(id);
+        keys.push(key);
+        commands.push(command);
+    }
+    for ((id, key), response) in ids
+        .into_iter()
+        .zip(keys)
+        .zip(handle.execute_batch(commands))
+    {
+        replies.push(match response {
+            Response::Value(v) => Message::reply(
+                id,
+                v.map(|v| (key.expect("get tracked its key"), v))
+                    .into_iter()
+                    .collect(),
+            ),
+            Response::Pairs(pairs) => Message::reply(id, pairs),
+            Response::Count(n) => Message::count_reply(id, n),
+            Response::Ok => Message::reply(id, vec![]),
+            Response::Stats(_) => Message::reply(id, vec![]),
+            Response::Error(e) => Message::error(id, e),
+        });
+    }
+    replies
 }
 
 fn handle_client_message(engine: &Mutex<Engine>, msg: Message) -> Vec<Message> {

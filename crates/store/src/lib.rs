@@ -16,8 +16,12 @@
 //!   (§2.5).
 //!
 //! The store is deliberately single-threaded and event-driven, like the
-//! paper's C++ server: one `Store` belongs to one engine; cross-server
-//! concurrency lives in `pequod-net`.
+//! paper's C++ server: one `Store` belongs to one engine; concurrency
+//! lives a level up — `pequod_core::ShardedEngine` moves whole engines
+//! (and therefore whole stores) onto worker threads, and `pequod-net`
+//! runs one engine per server process. That design only needs the types
+//! here to be [`Send`] (owned data, movable across threads), never
+//! [`Sync`]; the assertion below pins that contract at compile time.
 
 #![warn(missing_docs)]
 
@@ -36,6 +40,25 @@ pub use range::{KeyRange, UpperBound};
 pub use range_set::RangeSet;
 pub use store::{Store, StoreConfig, StoreStats};
 pub use table::{Table, TableStats, Value};
+
+/// Compile-time thread-safety contract: everything an engine owns can
+/// move to a shard worker thread, and the shared-payload types (`Key`,
+/// `Value` are refcounted via `Arc`) can additionally be read from many
+/// threads. If a change to the store breaks one of these bounds, this
+/// fails to compile rather than surfacing as a distant trait error in
+/// `pequod_core::sharded`.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send::<Store>();
+    assert_send::<Table>();
+    assert_send::<IntervalTree<()>>();
+    assert_send::<RangeSet>();
+    assert_send::<LruTracker<Key>>();
+    assert_send_sync::<Key>();
+    assert_send_sync::<Value>();
+    assert_send_sync::<KeyRange>();
+};
 
 #[cfg(test)]
 mod proptests {

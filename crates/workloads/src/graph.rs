@@ -1,6 +1,6 @@
 //! Synthetic social graph generation.
 //!
-//! **Substitution for the 2009 Twitter graph** (Kwak et al. [21], 40M
+//! **Substitution for the 2009 Twitter graph** (Kwak et al. \[21\], 40M
 //! users / 1.4B edges; the paper's single-machine experiments use a
 //! sampled subgraph of 1.8M users / 72M edges). The graph is proprietary
 //! at that scale, so we generate a power-law follower graph with the

@@ -1,19 +1,51 @@
 //! `pequod-workloads` — the applications and workload generators of the
 //! Pequod evaluation (§5).
 //!
+//! The paper evaluates Pequod with two applications: **Twip**, a
+//! Twitter-like service whose timelines are the canonical cache join,
+//! and **Newp**, a Hacker News-like service whose front page composes
+//! articles, votes, and karma. This crate reproduces both as
+//! deterministic, seed-keyed workloads so every figure binary produces
+//! the same op stream on every machine.
+//!
+//! # Modules
+//!
 //! * [`graph`] — synthetic power-law social graphs (the substitution for
-//!   the proprietary 2009 Twitter crawl; see DESIGN.md).
-//! * [`twip`] — the Twitter-like application: key schema, joins
-//!   (including celebrity handling), the [`twip::TwipBackend`] trait the
-//!   comparison systems implement, the unified-API driver
-//!   [`twip::ClientTwip`] that runs the same workload over any
-//!   `pequod_core::Client` backend, and the §5.1 client model.
+//!   the proprietary 2009 Twitter crawl; see DESIGN.md): heavy-tailed
+//!   in-degree (celebrities), ~tens of followees per user, explicit
+//!   seeds.
+//! * [`twip`] — the Twitter-like application: key schema
+//!   (`p|poster|time`, `s|user|poster`, `t|user|time|poster`), the
+//!   timeline join (including celebrity handling), the
+//!   [`twip::TwipBackend`] trait the comparison systems implement, the
+//!   §5.1 client model (login / subscribe / check / post mix), and
+//!   [`twip::run_twip`], the harness that warms, runs, and meters one
+//!   experiment.
 //! * [`newp`] — the Hacker News-like application with interleaved and
 //!   non-interleaved configurations (Figures 1 and 9).
 //! * [`rpc`] — per-RPC cost metering through the real wire codec, so
 //!   in-process backends pay proportionally for the RPCs they would
 //!   issue.
 //! * [`zipf`] — the Zipf sampler behind graph popularity.
+//!
+//! # One driver, every backend
+//!
+//! [`twip::ClientTwip`] and [`newp::ClientNewp`] drive the same
+//! workloads through the unified `pequod_core::Client` trait, so a
+//! single driver runs unchanged against the in-process engine, the
+//! multi-core sharded engine, the write-around deployment, the
+//! simulated cluster, and the join-less baseline stores (which fall
+//! back to client-side fan-out). This is what gives the figure
+//! binaries their `--backend` flag: same commands, same meter, any
+//! deployment shape.
+//!
+//! # Determinism
+//!
+//! Workload generation never consults ambient randomness: graphs, op
+//! streams, and run outcomes are pure functions of the seeds in
+//! [`GraphConfig`] and [`twip::TwipMix`] (the `determinism` tests
+//! assert byte-identical regeneration), so results compare across runs
+//! and machines.
 
 #![warn(missing_docs)]
 

@@ -3,18 +3,32 @@
 //! ```text
 //! pequod-server [--listen ADDR] [--join 'SPEC'] [--joins-file PATH]
 //!               [--subtable PREFIX:DEPTH]
+//!               [--shards N] [--shard-table PREFIX] [--shard-component C]
 //! ```
 //!
 //! Speaks the length-prefixed binary protocol of `pequod-net`; use
 //! `pequod::net::TcpClient` (or the `tcp_demo` example) as a client.
+//!
+//! With `--shards N` (N > 1) the node serves a
+//! [`pequod::core::ShardedEngine`]: N single-threaded engine shards,
+//! keys routed by hashing key component `--shard-component` (default 1,
+//! the user/author component), with every `--shard-table` prefix
+//! (default `p|` and `s|`) partitioned across shards and kept fresh by
+//! in-process subscriptions. Each TCP connection gets its own shard
+//! handle, so concurrent clients use every core.
 
-use pequod::core::{Engine, EngineConfig};
+use pequod::core::partition::ComponentHashPartition;
+use pequod::core::{Client, Engine, EngineConfig, ShardedEngine};
 use pequod::store::StoreConfig;
+use std::sync::Arc;
 
 fn main() {
     let mut listen = "127.0.0.1:7634".to_string();
     let mut joins: Vec<String> = Vec::new();
     let mut store = StoreConfig::flat();
+    let mut shards: usize = 1;
+    let mut shard_tables: Vec<String> = Vec::new();
+    let mut shard_component: usize = 1;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -34,10 +48,27 @@ fn main() {
                 let depth: usize = depth.parse().expect("subtable depth must be a number");
                 store = store.with_subtable(prefix, depth);
             }
+            "--shards" => {
+                shards = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--shards needs a positive number");
+                assert!(shards >= 1, "--shards needs a positive number");
+            }
+            "--shard-table" => {
+                shard_tables.push(args.next().expect("--shard-table needs a table prefix"));
+            }
+            "--shard-component" => {
+                shard_component = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--shard-component needs a number");
+            }
             "--help" | "-h" => {
                 println!(
                     "pequod-server [--listen ADDR] [--join 'SPEC']... \
-                     [--joins-file PATH] [--subtable PREFIX:DEPTH]..."
+                     [--joins-file PATH] [--subtable PREFIX:DEPTH]... \
+                     [--shards N] [--shard-table PREFIX]... [--shard-component C]"
                 );
                 return;
             }
@@ -47,18 +78,39 @@ fn main() {
             }
         }
     }
-    let mut engine = Engine::new(EngineConfig::with_store(store));
-    for text in &joins {
-        match engine.add_joins_text(text) {
-            Ok(ids) => eprintln!("installed {} join(s)", ids.len()),
-            Err(e) => {
-                eprintln!("bad join: {e}");
-                std::process::exit(2);
+    let config = EngineConfig::with_store(store);
+    let install = |client: &mut dyn Client| {
+        for text in &joins {
+            match client.add_join(text) {
+                Ok(()) => eprintln!("installed join(s) from one spec"),
+                Err(e) => {
+                    eprintln!("bad join: {e}");
+                    std::process::exit(2);
+                }
             }
         }
+    };
+    let server = if shards > 1 {
+        if shard_tables.is_empty() {
+            shard_tables = vec!["p|".to_string(), "s|".to_string()];
+        }
+        let tables: Vec<&str> = shard_tables.iter().map(|s| s.as_str()).collect();
+        let partition = Arc::new(ComponentHashPartition {
+            component: shard_component,
+            servers: shards as u32,
+        });
+        let mut sharded = ShardedEngine::new(shards, config, partition, &tables);
+        install(&mut sharded);
+        eprintln!(
+            "serving {shards} shards (tables {shard_tables:?} hashed on component {shard_component})"
+        );
+        pequod::net::TcpServer::spawn_sharded(&*listen, sharded)
+    } else {
+        let mut engine = Engine::new(config);
+        install(&mut engine);
+        pequod::net::TcpServer::spawn(&*listen, engine)
     }
-    let server = pequod::net::TcpServer::spawn(&*listen, engine)
-        .unwrap_or_else(|e| panic!("cannot listen on {listen}: {e}"));
+    .unwrap_or_else(|e| panic!("cannot listen on {listen}: {e}"));
     eprintln!("pequod-server listening on {}", server.addr());
     // Serve until killed.
     loop {

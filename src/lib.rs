@@ -12,7 +12,8 @@
 //! * [`join`] — the cache-join language: patterns, slots, containing
 //!   ranges, the Figure 2 grammar.
 //! * [`core`] — the engine: query execution, incremental maintenance,
-//!   invalidation, eviction.
+//!   invalidation, eviction; key-routing partitions and the multi-core
+//!   [`ShardedEngine`](crate::core::ShardedEngine).
 //! * [`db`] — backing database substrate with NOTIFY-style
 //!   subscriptions and the write-around deployment.
 //! * [`net`] — the distributed tier: wire codec, server nodes,
@@ -56,10 +57,13 @@
 //! assert_eq!(timeline_demo(&mut wa), 1);
 //! ```
 //!
-//! `pequod::net::ClusterClient` (a partitioned cluster pipelining each
-//! batch as one frame per destination server) and the join-less
-//! baseline stores in [`baselines`] plug into the same function; see
-//! `examples/unified_clients.rs` and `tests/client_conformance.rs`.
+//! `pequod::core::ShardedEngine` (N single-threaded engine shards on
+//! worker threads, cross-shard joins kept fresh over in-process
+//! channels), `pequod::net::ClusterClient` (a partitioned cluster
+//! pipelining each batch as one frame per destination server), and the
+//! join-less baseline stores in [`baselines`] plug into the same
+//! function; see `examples/unified_clients.rs`,
+//! `tests/client_conformance.rs`, and `docs/ARCHITECTURE.md`.
 
 pub use pequod_baselines as baselines;
 pub use pequod_core as core;

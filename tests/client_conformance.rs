@@ -1,12 +1,13 @@
 //! Conformance suite for the unified client API: the same command
-//! script runs against every backend — in-process engine, write-around
-//! deployment, simulated cluster, and the three baseline stores — and
-//! must produce the identical response sequence. This is the contract
-//! that makes the figure binaries' `--backend` flag meaningful: any
-//! backend that passes here is a drop-in for any other.
+//! script runs against every backend — in-process engine, sharded
+//! multi-core engine, write-around deployment, simulated cluster, and
+//! the three baseline stores — and must produce the identical response
+//! sequence. This is the contract that makes the figure binaries'
+//! `--backend` flag meaningful: any backend that passes here is a
+//! drop-in for any other.
 
 use pequod::baselines::{MemcachedClient, MiniDbClient, RedisClient};
-use pequod::core::{Client, Command, Engine, EngineConfig, Response};
+use pequod::core::{Client, Command, Engine, EngineConfig, Response, ShardedEngine};
 use pequod::db::WriteAround;
 use pequod::net::{ClusterClient, ServerId, ServerNode, SimCluster, SimConfig, TablePartition};
 use pequod::prelude::*;
@@ -35,6 +36,17 @@ fn backends(join_capable_only: bool) -> Vec<BackendFactory> {
         (
             "engine",
             Box::new(|| Box::new(Engine::new(EngineConfig::default())) as Box<dyn Client>),
+        ),
+        (
+            "sharded",
+            Box::new(|| {
+                // Two shards, split like the cluster deployment below:
+                // posts homed on shard 1, the rest on shard 0, so the
+                // script exercises cross-shard subscriptions.
+                let part = Arc::new(TablePartition::new(ServerId(0)).route("p|", ServerId(1)));
+                Box::new(ShardedEngine::new(2, EngineConfig::default(), part, TABLES))
+                    as Box<dyn Client>
+            }),
         ),
         (
             "writearound",

@@ -1,0 +1,170 @@
+//! Multi-threaded stress tests for `pequod_core::ShardedEngine`:
+//! concurrent writer and reader threads, each with its own
+//! `ShardedHandle`, hammering all shards at once. Readers observe
+//! eventually-consistent intermediate states; once the writers finish,
+//! the counts must converge to exactly the expected totals (writes are
+//! acknowledged only after their notifications are enqueued, so a
+//! query issued after the last ack observes every write).
+
+use pequod::core::partition::ComponentHashPartition;
+use pequod::core::{Client, EngineConfig, ShardedEngine};
+use pequod::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const TIMELINE: &str =
+    "t|<user>|<time:10>|<poster> = check s|<user>|<poster> copy p|<poster>|<time:10>";
+
+fn sharded(shards: u32) -> ShardedEngine {
+    let part = Arc::new(ComponentHashPartition {
+        component: 1,
+        servers: shards,
+    });
+    ShardedEngine::new(
+        shards as usize,
+        EngineConfig::default(),
+        part,
+        &["p|", "s|"],
+    )
+}
+
+/// Concurrent writers on disjoint key sets, readers counting while the
+/// writes are in flight: no operation may fail, and the final counts
+/// must equal what was written.
+#[test]
+fn concurrent_writers_and_readers_converge() {
+    const WRITERS: usize = 4;
+    const POSTS_PER_WRITER: u64 = 120;
+    let engine = sharded(4);
+
+    let done = Arc::new(AtomicBool::new(false));
+    // Readers poll counts of every writer's post table during the run;
+    // intermediate values are unconstrained (eventual consistency), but
+    // must be monotone per poster since nothing is removed.
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let mut h = engine.client_handle();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut last = [0u64; WRITERS];
+                while !done.load(Ordering::Relaxed) {
+                    for (w, prev) in last.iter_mut().enumerate() {
+                        let n = h.count(&KeyRange::prefix(format!("p|w{w}|")));
+                        assert!(n >= *prev, "count went backwards: {n} < {prev}");
+                        *prev = n;
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let mut h = engine.client_handle();
+            std::thread::spawn(move || {
+                for t in 0..POSTS_PER_WRITER {
+                    h.put(
+                        &Key::from(format!("p|w{w}|{t:010}")),
+                        &Value::from_static(b"post"),
+                    );
+                }
+            })
+        })
+        .collect();
+    for t in writers {
+        t.join().unwrap();
+    }
+    done.store(true, Ordering::Relaxed);
+    for t in readers {
+        t.join().unwrap();
+    }
+
+    let mut h = engine.client_handle();
+    for w in 0..WRITERS {
+        assert_eq!(
+            h.count(&KeyRange::prefix(format!("p|w{w}|"))),
+            POSTS_PER_WRITER,
+            "writer {w}'s posts did not all land"
+        );
+    }
+    let stats = h.stats();
+    assert_eq!(stats.keys, WRITERS as u64 * POSTS_PER_WRITER);
+}
+
+/// Writers post into a live cross-shard join while readers repeatedly
+/// materialize and re-validate the joined timelines. After the dust
+/// settles the timeline counts must equal the number of posts each
+/// followed poster made.
+#[test]
+fn concurrent_join_maintenance_converges() {
+    const POSTERS: usize = 4;
+    const POSTS_PER_POSTER: u64 = 60;
+    let engine = sharded(4);
+    {
+        let mut h = engine.client_handle();
+        h.add_join(TIMELINE).unwrap();
+        // Two followers per poster, spread over shards: reader0 follows
+        // everyone, reader1 follows the even posters.
+        for p in 0..POSTERS {
+            h.put(
+                &Key::from(format!("s|reader0|w{p}")),
+                &Value::from_static(b"1"),
+            );
+            if p % 2 == 0 {
+                h.put(
+                    &Key::from(format!("s|reader1|w{p}")),
+                    &Value::from_static(b"1"),
+                );
+            }
+        }
+    }
+
+    let done = Arc::new(AtomicBool::new(false));
+    let pollers: Vec<_> = (0..2)
+        .map(|r| {
+            let mut h = engine.client_handle();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut last = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let n = h.count(&KeyRange::prefix(format!("t|reader{r}|")));
+                    assert!(n >= last, "timeline shrank: {n} < {last}");
+                    last = n;
+                }
+            })
+        })
+        .collect();
+
+    let writers: Vec<_> = (0..POSTERS)
+        .map(|p| {
+            let mut h = engine.client_handle();
+            std::thread::spawn(move || {
+                for t in 0..POSTS_PER_POSTER {
+                    h.put(
+                        &Key::from(format!("p|w{p}|{t:010}")),
+                        &Value::from_static(b"hi"),
+                    );
+                }
+            })
+        })
+        .collect();
+    for t in writers {
+        t.join().unwrap();
+    }
+    done.store(true, Ordering::Relaxed);
+    for t in pollers {
+        t.join().unwrap();
+    }
+
+    let mut h = engine.client_handle();
+    assert_eq!(
+        h.count(&KeyRange::prefix("t|reader0|")),
+        POSTERS as u64 * POSTS_PER_POSTER,
+        "reader0 follows everyone"
+    );
+    assert_eq!(
+        h.count(&KeyRange::prefix("t|reader1|")),
+        (POSTERS as u64).div_ceil(2) * POSTS_PER_POSTER,
+        "reader1 follows the even posters"
+    );
+}
