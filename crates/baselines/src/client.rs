@@ -74,6 +74,7 @@ fn flat_execute(map: &mut BTreeMap<Key, Value>, name: &str, command: Command) ->
                 .iter()
                 .map(|(k, v)| k.as_bytes().len() + v.len() + 48)
                 .sum::<usize>() as u64,
+            ..BackendStats::default()
         }),
     }
 }
@@ -227,6 +228,7 @@ impl Client for MiniDbClient {
                 Command::Stats => Response::Stats(BackendStats {
                     keys: self.db.row_count("kv") as u64,
                     memory_bytes: self.db.memory_bytes() as u64,
+                    ..BackendStats::default()
                 }),
             })
             .collect()

@@ -1,0 +1,288 @@
+//! Eviction sweep: memory-bounded serving vs the unbounded engine on
+//! the zipf-skewed Twip workload (§2.5).
+//!
+//! The paper's claim is that a cache join can *evict* computed data
+//! under memory pressure and transparently recompute it on the next
+//! read — that is what separates a cache join from a materialized view.
+//! This binary measures the cost of that transparency: it runs the
+//! standard Twip experiment unbounded to learn the workload's natural
+//! footprint, then re-runs it under memory caps at fractions of that
+//! footprint (`--caps 75,50,25`, in percent) and reports throughput,
+//! hit rate, eviction counts, and peak/final memory for every run.
+//! Answers must not change: each capped run's delivered timeline
+//! entries are checked against the unbounded run's, and a mismatch
+//! exits non-zero.
+//!
+//! ```text
+//! eviction [--scale S] [--caps P1,P2,...] [--json PATH]
+//! ```
+//!
+//! `--json PATH` writes the results as a JSON array (CI's
+//! eviction-smoke job publishes `BENCH_eviction_smoke.json` per commit,
+//! the memory-pressure counterpart of the fig7 artifact). The *hit
+//! rate* is the fraction of reads answered from already-materialized
+//! ranges (1 − fresh materializations / reads): under a cap it falls as
+//! cold timelines get evicted and recomputed, which is exactly the
+//! eviction-vs-recompute tradeoff `docs/MEMORY.md` describes.
+
+use pequod_bench::{arg_value, mib, print_table, ratio, secs, twip_graph, Scale};
+use pequod_core::{Engine, EngineConfig, MemoryLimit};
+use pequod_store::{KeyRange, StoreConfig};
+use pequod_workloads::twip::{run_twip, timeline_range, PequodTwip, TwipMix, TwipWorkload};
+use pequod_workloads::SocialGraph;
+
+struct Experiment {
+    graph: SocialGraph,
+    workload: TwipWorkload,
+    initial_posts: u64,
+}
+
+fn experiment(scale: &Scale) -> Experiment {
+    let users = scale.count(2000) as u32;
+    // The standard zipf-skewed graph (α = 1.2): a few celebrities with
+    // huge follower counts, a long tail of small accounts — the skew
+    // that makes LRU eviction interesting (hot timelines stay, cold
+    // ones cycle).
+    let graph = twip_graph(users, 0x5e7);
+    let mix = TwipMix {
+        active_fraction: 0.7,
+        checks_per_user: 15,
+        seed: 0xe71c,
+        ..TwipMix::default()
+    };
+    let workload = TwipWorkload::generate(&graph, &mix);
+    let initial_posts = scale.count(6000);
+    let h = workload.histogram();
+    println!(
+        "eviction: {} users, {} edges, ops = {} logins / {} subs / {} checks / {} posts",
+        users,
+        graph.edges(),
+        h[0],
+        h[1],
+        h[2],
+        h[3]
+    );
+    Experiment {
+        graph,
+        workload,
+        initial_posts,
+    }
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig::with_store(
+        StoreConfig::flat()
+            .with_subtable("t|", 2)
+            .with_subtable("p|", 2),
+    )
+}
+
+/// One run's measurements.
+struct Run {
+    label: String,
+    cap_bytes: usize,
+    seconds: f64,
+    ops: u64,
+    entries_returned: u64,
+    /// FNV-1a digest over every user's full timeline after the run:
+    /// the byte-identical-answers check, not just a count.
+    answers_digest: u64,
+    hit_rate: f64,
+    js_evictions: u64,
+    base_evictions: u64,
+    peak_memory_bytes: usize,
+    final_memory_bytes: usize,
+}
+
+/// FNV-1a over every user's post-run timeline contents (keys and
+/// values), so equal-cardinality-but-different answers cannot slip
+/// past the transparency gate.
+fn timelines_digest(engine: &mut Engine, users: u32) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    let mut fold = |bytes: &[u8]| {
+        for b in bytes {
+            h ^= *b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        h ^= 0xff;
+        h = h.wrapping_mul(PRIME);
+    };
+    for u in 0..users {
+        let range: KeyRange = timeline_range(u, 0);
+        for (k, v) in engine.scan(&range).pairs {
+            fold(k.as_bytes());
+            fold(&v);
+        }
+    }
+    h
+}
+
+fn run_once(exp: &Experiment, label: &str, cap: Option<MemoryLimit>) -> Run {
+    let mut config = engine_config();
+    config.mem_limit = cap;
+    let mut backend = PequodTwip::new(Engine::new(config));
+    let stats = run_twip(&mut backend, &exp.graph, &exp.workload, exp.initial_posts);
+    // Snapshot counters and footprint before the digest pass below
+    // re-reads (and on a capped engine, recomputes) every timeline.
+    let es = *backend.engine.stats();
+    let final_memory = backend.engine.memory_bytes();
+    let answers_digest = timelines_digest(&mut backend.engine, exp.graph.users());
+    // Reads answered without a fresh materialization, over the whole
+    // run (warm-up included — both modes warm identically).
+    let hit_rate = if es.scans > 0 {
+        1.0 - (es.ranges_materialized.min(es.scans) as f64 / es.scans as f64)
+    } else {
+        0.0
+    };
+    Run {
+        label: label.to_string(),
+        cap_bytes: cap.map_or(0, |l| l.high_bytes),
+        seconds: stats.elapsed,
+        ops: stats.ops,
+        entries_returned: stats.entries_returned,
+        answers_digest,
+        hit_rate,
+        js_evictions: es.js_evictions,
+        base_evictions: es.base_evictions,
+        peak_memory_bytes: (es.peak_memory_bytes as usize).max(final_memory),
+        final_memory_bytes: final_memory,
+    }
+}
+
+fn results_json(runs: &[Run]) -> String {
+    // Hand-rolled JSON, same convention as fig7 (no serde offline).
+    let rows: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"backend\": \"engine\", \"cap\": \"{}\", \"cap_bytes\": {}, \
+                 \"seconds\": {:.6}, \"ops\": {}, \"ops_per_sec\": {:.1}, \
+                 \"hit_rate\": {:.4}, \"js_evictions\": {}, \"base_evictions\": {}, \
+                 \"peak_memory_bytes\": {}, \"final_memory_bytes\": {}, \
+                 \"entries_returned\": {}, \"answers_digest\": \"{:016x}\"}}",
+                r.label,
+                r.cap_bytes,
+                r.seconds,
+                r.ops,
+                r.ops as f64 / r.seconds.max(1e-9),
+                r.hit_rate,
+                r.js_evictions,
+                r.base_evictions,
+                r.peak_memory_bytes,
+                r.final_memory_bytes,
+                r.entries_returned,
+                r.answers_digest
+            )
+        })
+        .collect();
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let exp = experiment(&scale);
+    let cap_percents: Vec<u32> = arg_value("--caps")
+        .unwrap_or_else(|| "75,50,25".to_string())
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("--caps wants percentages, got {s:?}"))
+        })
+        .collect();
+
+    let unbounded = run_once(&exp, "unbounded", None);
+    let footprint = unbounded.final_memory_bytes;
+    println!(
+        "unbounded footprint: {} ({} timeline entries delivered)",
+        mib(footprint),
+        unbounded.entries_returned
+    );
+
+    let mut runs = vec![unbounded];
+    for pct in &cap_percents {
+        let cap_bytes = footprint * (*pct as usize) / 100;
+        let label = format!("{pct}%");
+        runs.push(run_once(&exp, &label, Some(MemoryLimit::new(cap_bytes))));
+    }
+
+    let base_secs = runs[0].seconds;
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                if r.cap_bytes == 0 {
+                    "-".to_string()
+                } else {
+                    mib(r.cap_bytes)
+                },
+                secs(r.seconds),
+                ratio(r.seconds / base_secs),
+                format!("{:.1}%", r.hit_rate * 100.0),
+                r.js_evictions.to_string(),
+                r.base_evictions.to_string(),
+                mib(r.peak_memory_bytes),
+                mib(r.final_memory_bytes),
+            ]
+        })
+        .collect();
+    print_table(
+        "Eviction sweep — memory-bounded vs unbounded engine (same answers)",
+        &[
+            "cap",
+            "cap bytes",
+            "runtime (s)",
+            "vs unbounded",
+            "hit rate",
+            "js evict",
+            "base evict",
+            "peak mem",
+            "final mem",
+        ],
+        &rows,
+    );
+
+    if let Some(path) = arg_value("--json") {
+        let json = results_json(&runs);
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("\nwrote {path}");
+    }
+
+    // Recompute transparency is the whole point: a capped engine must
+    // deliver the identical timelines — same entry count through the
+    // run, same contents (digest) after it.
+    let want = runs[0].entries_returned;
+    let want_digest = runs[0].answers_digest;
+    let mut ok = true;
+    for r in &runs[1..] {
+        if r.entries_returned != want {
+            eprintln!(
+                "FAIL: cap {} delivered {} timeline entries, unbounded delivered {want}",
+                r.label, r.entries_returned
+            );
+            ok = false;
+        }
+        if r.answers_digest != want_digest {
+            eprintln!(
+                "FAIL: cap {} timeline digest {:016x} != unbounded {want_digest:016x}",
+                r.label, r.answers_digest
+            );
+            ok = false;
+        }
+        if r.final_memory_bytes > r.cap_bytes {
+            eprintln!(
+                "note: cap {} ended above its cap ({} > {}): irreducible base data \
+                 exceeds the budget at this scale",
+                r.label,
+                mib(r.final_memory_bytes),
+                mib(r.cap_bytes)
+            );
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -9,6 +9,8 @@
 //! | `fig9`      | Figure 9 — Newp interleaved vs non-interleaved    |
 //! | `fig10`     | Figure 10 — scalability vs compute servers        |
 //! | `ablations` | §4.1–§4.3 and §3.2 in-text optimization factors   |
+//! | `eviction`  | §2.5 — memory-bounded serving: cap sweep vs an    |
+//! |             | unbounded engine (throughput, hit rate, evictions)|
 //!
 //! # Flag conventions
 //!
@@ -21,7 +23,9 @@
 //! ([`sharded_shards`], default 4). `fig7 --json PATH` writes the
 //! results table as a JSON array — CI's bench-smoke job uses it to
 //! publish a `BENCH_fig7_smoke.json` artifact per commit, so the
-//! performance trajectory of the repo is recorded.
+//! performance trajectory of the repo is recorded (`eviction --json`
+//! does the same for the memory-pressure artifact,
+//! `BENCH_eviction_smoke.json`).
 //!
 //! # What this crate provides
 //!

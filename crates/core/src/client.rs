@@ -63,12 +63,34 @@ pub enum Response {
 }
 
 /// Backend counters reported by [`Command::Stats`].
+///
+/// Multi-engine backends (the sharded engine, the cluster client)
+/// answer with the *sum* across their engines, so `memory_bytes` is the
+/// deployment's whole footprint and the eviction counters record total
+/// memory pressure.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BackendStats {
     /// Live keys (or rows) resident in the backend.
     pub keys: u64,
     /// Estimated resident memory in bytes.
     pub memory_bytes: u64,
+    /// Materialized join ranges evicted under memory pressure (§2.5);
+    /// always 0 on join-less backends and unbounded engines.
+    pub js_evictions: u64,
+    /// Cached base-data tables evicted under memory pressure; always 0
+    /// on join-less backends and unbounded engines.
+    pub base_evictions: u64,
+}
+
+/// Multi-engine backends fold per-engine snapshots into one
+/// deployment-wide total.
+impl std::ops::AddAssign for BackendStats {
+    fn add_assign(&mut self, rhs: BackendStats) {
+        self.keys += rhs.keys;
+        self.memory_bytes += rhs.memory_bytes;
+        self.js_evictions += rhs.js_evictions;
+        self.base_evictions += rhs.base_evictions;
+    }
 }
 
 /// A connection to some Pequod-shaped serving system.
@@ -214,10 +236,7 @@ impl Client for Engine {
                     Ok(_) => Response::Ok,
                     Err(e) => Response::Error(e.to_string()),
                 },
-                Command::Stats => Response::Stats(BackendStats {
-                    keys: self.store_stats().keys as u64,
-                    memory_bytes: self.memory_bytes() as u64,
-                }),
+                Command::Stats => Response::Stats(self.backend_stats()),
             })
             .collect()
     }

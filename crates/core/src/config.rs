@@ -18,6 +18,75 @@ pub enum MaterializationMode {
     None,
 }
 
+/// A memory budget for one engine (§2.5): automatic LRU eviction keeps
+/// the estimated resident footprint under a hard cap.
+///
+/// Eviction uses two watermarks. The **high** watermark is the cap:
+/// whenever maintenance finds the footprint above it, least-recently-used
+/// evictable units (materialized join ranges, cached base data) are
+/// dropped. Eviction then continues down to the **low** watermark, so one
+/// more write does not immediately re-trigger it (hysteresis). Evicted
+/// computed data is transparently recomputed on the next read, so a
+/// memory-bounded engine answers every query exactly like an unbounded
+/// one — it just pays recomputation for cold ranges.
+///
+/// ```
+/// use pequod_core::config::MemoryLimit;
+///
+/// let limit = MemoryLimit::new(1 << 20); // 1 MiB cap
+/// assert_eq!(limit.high_bytes, 1 << 20);
+/// assert!(limit.low_bytes < limit.high_bytes);
+/// assert_eq!(MemoryLimit::mb(4).high_bytes, 4 << 20);
+/// // A 1 MiB budget split over 4 shards caps each shard at 256 KiB.
+/// assert_eq!(MemoryLimit::mb(1).split(4).high_bytes, (1 << 20) / 4);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemoryLimit {
+    /// The hard cap: eviction triggers when estimated memory exceeds it.
+    pub high_bytes: usize,
+    /// The eviction target: once triggered, evict down to this.
+    pub low_bytes: usize,
+}
+
+impl MemoryLimit {
+    /// A cap with the default hysteresis: the low watermark sits 1/8
+    /// below the cap.
+    pub fn new(cap_bytes: usize) -> MemoryLimit {
+        MemoryLimit {
+            high_bytes: cap_bytes,
+            low_bytes: cap_bytes - cap_bytes / 8,
+        }
+    }
+
+    /// A cap with an explicit low watermark (`low_bytes` must not
+    /// exceed `cap_bytes`).
+    pub fn with_watermarks(cap_bytes: usize, low_bytes: usize) -> MemoryLimit {
+        assert!(
+            low_bytes <= cap_bytes,
+            "low watermark {low_bytes} above the cap {cap_bytes}"
+        );
+        MemoryLimit {
+            high_bytes: cap_bytes,
+            low_bytes,
+        }
+    }
+
+    /// A cap in mebibytes (the unit of the servers' `--mem-limit-mb`).
+    pub fn mb(megabytes: usize) -> MemoryLimit {
+        MemoryLimit::new(megabytes << 20)
+    }
+
+    /// Splits this budget evenly over `n` engines (per-shard budgets in
+    /// a sharded deployment). Each share keeps the same high/low ratio.
+    pub fn split(&self, n: usize) -> MemoryLimit {
+        assert!(n > 0, "cannot split a budget over zero engines");
+        MemoryLimit {
+            high_bytes: self.high_bytes / n,
+            low_bytes: self.low_bytes / n,
+        }
+    }
+}
+
 /// Engine configuration.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -36,6 +105,12 @@ pub struct EngineConfig {
     /// A join status range with more pending logged modifications than
     /// this falls back to complete invalidation.
     pub pending_log_limit: usize,
+    /// Memory-bounded serving (§2.5): when set, the engine evicts
+    /// least-recently-used computed ranges and cached base data to keep
+    /// [`Engine::memory_bytes`](crate::Engine::memory_bytes) under the
+    /// cap; evicted data is transparently recomputed (or refetched) on
+    /// the next read. `None` (the default) disables automatic eviction.
+    pub mem_limit: Option<MemoryLimit>,
     /// Table layout (subtable splits, §4.1).
     pub store: StoreConfig,
 }
@@ -48,6 +123,7 @@ impl Default for EngineConfig {
             value_sharing: true,
             lazy_checks: true,
             pending_log_limit: 64,
+            mem_limit: None,
             store: StoreConfig::flat(),
         }
     }
@@ -60,6 +136,13 @@ impl EngineConfig {
             store,
             ..EngineConfig::default()
         }
+    }
+
+    /// Returns this configuration with a memory cap installed
+    /// (see [`MemoryLimit`]).
+    pub fn with_mem_limit(mut self, limit: MemoryLimit) -> EngineConfig {
+        self.mem_limit = Some(limit);
+        self
     }
 }
 
@@ -92,4 +175,7 @@ pub struct EngineStats {
     pub js_evictions: u64,
     /// Base tables evicted.
     pub base_evictions: u64,
+    /// Highest estimated memory observed by limit maintenance (0 when no
+    /// memory limit is configured — unbounded engines never measure).
+    pub peak_memory_bytes: u64,
 }

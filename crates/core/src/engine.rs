@@ -14,7 +14,7 @@
 //! modifications.
 
 use crate::aggregate::{fmt_num, parse_num};
-use crate::config::{EngineConfig, EngineStats, MaterializationMode};
+use crate::config::{EngineConfig, EngineStats, MaterializationMode, MemoryLimit};
 use crate::status::{JsState, LoggedMod, StatusMap};
 use crate::types::{EngineError, JoinId, JsId, WriteKind};
 use crate::updater::{OutputHint, UpdaterEntry, UpdaterIndex};
@@ -34,6 +34,21 @@ pub enum EvictUnit {
     Base(Key),
 }
 
+/// Estimated bookkeeping bytes per materialized join status range, used
+/// by [`Engine::memory_bytes`]. A `JsRange` carries two range-bound
+/// keys (2 × 24-byte handles plus ~16 bytes of shared key text), the
+/// state/clock words (~16), and its updater-node list plus the LRU
+/// tracker's two map entries for the range (~16 together) — about 96
+/// bytes on a 64-bit target. Pending logged modifications and the
+/// updater entries themselves are accounted separately
+/// (`UpdaterIndex::approx_bytes`).
+pub const JS_RANGE_OVERHEAD_BYTES: usize = 96;
+
+/// Decides whether this engine is the *authority* for a base key (the
+/// deployment's partition homes the key here). Authoritative rows are
+/// never dropped by base-data eviction: nobody else has them.
+pub type BaseAuthority = Arc<dyn Fn(&Key) -> bool + Send + Sync>;
+
 /// The Pequod cache engine.
 pub struct Engine {
     pub(crate) store: Store,
@@ -46,6 +61,10 @@ pub struct Engine {
     pub(crate) config: EngineConfig,
     pub(crate) clock: u64,
     pub(crate) stats: EngineStats,
+    /// Partition-aware base-data ownership (sharded/cluster
+    /// deployments); `None` means all cached base data is a replica of
+    /// some backing authority and may be dropped wholesale.
+    pub(crate) base_authority: Option<BaseAuthority>,
 }
 
 impl Engine {
@@ -61,6 +80,7 @@ impl Engine {
             config,
             clock: 0,
             stats: EngineStats::default(),
+            base_authority: None,
         }
     }
 
@@ -120,9 +140,55 @@ impl Engine {
     }
 
     /// Estimated resident memory: store data plus maintenance
-    /// bookkeeping (updaters and join status ranges).
+    /// bookkeeping (updaters and join status ranges; see
+    /// [`JS_RANGE_OVERHEAD_BYTES`] for the per-range estimate).
     pub fn memory_bytes(&self) -> usize {
-        self.store.memory_bytes() + self.updaters.approx_bytes() + self.materialized_ranges() * 96
+        self.store.memory_bytes()
+            + self.updaters.approx_bytes()
+            + self.materialized_ranges() * JS_RANGE_OVERHEAD_BYTES
+    }
+
+    /// The configured memory limit, if any.
+    pub fn mem_limit(&self) -> Option<MemoryLimit> {
+        self.config.mem_limit
+    }
+
+    /// Installs (or clears) the memory limit, returning the previous
+    /// one. Deployments use this to suspend eviction around operations
+    /// that must observe a stable store (e.g. granting a subscription),
+    /// and servers use it to apply `--mem-limit-mb` at startup.
+    pub fn set_mem_limit(&mut self, limit: Option<MemoryLimit>) -> Option<MemoryLimit> {
+        std::mem::replace(&mut self.config.mem_limit, limit)
+    }
+
+    /// This engine's [`BackendStats`](crate::BackendStats) snapshot —
+    /// the payload every backend answers to
+    /// [`Command::Stats`](crate::Command::Stats). One definition so the
+    /// engine, sharded, write-around, and cluster backends cannot
+    /// drift, and an *inherent* method: inside `execute_batch` closures
+    /// the receiver is `&mut &mut Engine`, where a `self.stats()` call
+    /// would resolve to the `Client` trait method and recurse.
+    pub fn backend_stats(&self) -> crate::BackendStats {
+        crate::BackendStats {
+            keys: self.store.stats().keys as u64,
+            memory_bytes: self.memory_bytes() as u64,
+            js_evictions: self.stats.js_evictions,
+            base_evictions: self.stats.base_evictions,
+        }
+    }
+
+    /// Declares which base keys this engine is the *authority* for.
+    ///
+    /// In a sharded or clustered deployment, a partitioned table's rows
+    /// at their home engine are the only copy; base-data eviction must
+    /// not drop them (dropping a *replica* is safe — the home still has
+    /// it, and the next read refetches). The deployment installs its
+    /// partition function here; an engine without an authority predicate
+    /// treats all cached base data as replicas of some backing store
+    /// (the write-around database, a subscription home) and may drop it
+    /// wholesale.
+    pub fn set_base_authority(&mut self, authority: impl Fn(&Key) -> bool + Send + Sync + 'static) {
+        self.base_authority = Some(Arc::new(authority));
     }
 
     // ------------------------------------------------------------------
@@ -232,9 +298,14 @@ impl Engine {
     /// Installs fetched base data: writes the pairs (running normal
     /// incremental maintenance) and marks the whole fetched range
     /// resident.
+    ///
+    /// The install itself never evicts, even over a memory limit: a
+    /// parked query is usually waiting on exactly this range, and must
+    /// observe it whole on its restart. The cap is enforced at the end
+    /// of the next read or write ([`Engine::maintain_memory`]).
     pub fn install_base(&mut self, range: &KeyRange, pairs: Vec<(Key, Value)>) {
         for (k, v) in pairs {
-            self.put(k, v);
+            self.write(k, Some(v), false);
         }
         self.mark_resident(range);
     }
@@ -274,11 +345,13 @@ impl Engine {
     /// Inserts or replaces a key, running incremental maintenance.
     pub fn put(&mut self, key: impl Into<Key>, value: impl Into<Value>) {
         self.write(key.into(), Some(value.into()), false);
+        self.maintain_memory();
     }
 
     /// Removes a key, running incremental maintenance.
     pub fn remove(&mut self, key: &Key) {
         self.write(key.clone(), None, false);
+        self.maintain_memory();
     }
 
     /// Applies a store modification and dispatches updaters.

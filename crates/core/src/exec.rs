@@ -85,6 +85,11 @@ impl Engine {
                 map.into_iter().collect()
             }
         };
+        // Enforce the memory cap only after the answer is collected:
+        // reads materialize join ranges, so a capped engine may be over
+        // the high watermark right here, but the response must never
+        // observe a half-evicted store.
+        self.maintain_memory();
         ScanResult { pairs, missing }
     }
 
@@ -162,6 +167,7 @@ impl Engine {
                 set.len()
             }
         };
+        self.maintain_memory();
         CountResult { count, missing }
     }
 
@@ -644,6 +650,9 @@ impl Engine {
     /// below `target_bytes` (or nothing evictable remains). Returns the
     /// number of units evicted.
     ///
+    /// This is the manual form of the eviction that
+    /// [`Engine::maintain_memory`] runs automatically when a
+    /// [`MemoryLimit`](crate::config::MemoryLimit) is configured.
     /// Evicting computed data tears down the join status range; evicting
     /// cached base data removes the rows *without* treating them as
     /// deletions, and instead invalidates dependent computed ranges,
@@ -654,43 +663,162 @@ impl Engine {
             let Some(unit) = self.lru.pop_lru() else {
                 break;
             };
-            match unit {
-                EvictUnit::Js(jidx, jsid) => {
-                    self.teardown_jsrange(jidx as usize, jsid, true);
-                    self.stats.js_evictions += 1;
-                }
-                EvictUnit::Base(prefix) => {
-                    let range = KeyRange::prefix(prefix.clone());
-                    // Invalidate dependents before dropping the data.
-                    let mut dependents: Vec<(usize, JsId)> = Vec::new();
-                    for node in self.updaters.overlapping(&range) {
-                        if let Some(entries) = self.updaters.entries(node) {
-                            for e in entries {
-                                dependents.push((e.join.0 as usize, e.js));
-                            }
-                        }
-                    }
-                    for (jidx, jsid) in dependents {
-                        self.complete_invalidate(jidx, jsid);
-                    }
-                    // Drop the rows silently (eviction, not deletion).
-                    let mut doomed = Vec::new();
-                    self.store.scan(&range, |k, _| {
-                        doomed.push(k.clone());
-                        true
-                    });
-                    for k in &doomed {
-                        self.store.remove(k);
-                    }
-                    if let Some(rs) = self.remote.get_mut(&prefix) {
-                        rs.clear();
-                    }
-                    self.stats.base_evictions += 1;
-                }
+            if self.evict_one(unit) {
+                evicted += 1;
             }
-            evicted += 1;
         }
         evicted
+    }
+
+    /// Enforces the configured [`MemoryLimit`](crate::config::MemoryLimit):
+    /// when estimated memory exceeds the high watermark, least-recently-
+    /// used units are evicted down to the low watermark. Returns the
+    /// number of units evicted (0 when unbounded or under the cap).
+    ///
+    /// Every public read and write calls this after its answer is
+    /// collected, so a capped engine holds the invariant *memory is at
+    /// or below the cap after each operation's maintenance* (as long as
+    /// anything evictable remains — authoritative base data is never
+    /// dropped). Evicted computed ranges are transparently recomputed on
+    /// the next read:
+    ///
+    /// ```
+    /// use pequod_core::config::MemoryLimit;
+    /// use pequod_core::{Engine, EngineConfig};
+    /// use pequod_store::KeyRange;
+    ///
+    /// let cfg = EngineConfig::default().with_mem_limit(MemoryLimit::new(6 * 1024));
+    /// let mut engine = Engine::new(cfg);
+    /// engine
+    ///     .add_join_text(
+    ///         "t|<user>|<time:10>|<poster> = check s|<user>|<poster> copy p|<poster>|<time:10>",
+    ///     )
+    ///     .unwrap();
+    /// for u in 0..40 {
+    ///     engine.put(format!("s|u{u:03}|bob"), "1");
+    /// }
+    /// for t in 0..20u64 {
+    ///     engine.put(format!("p|bob|{t:010}"), "some tweet text");
+    /// }
+    /// // Reading every timeline materializes far more than 6 KiB of
+    /// // computed data; automatic eviction keeps the engine under the
+    /// // cap and every answer stays identical to an unbounded engine's.
+    /// for u in 0..40 {
+    ///     let tl = engine.scan(&KeyRange::prefix(format!("t|u{u:03}|")));
+    ///     assert_eq!(tl.pairs.len(), 20);
+    ///     assert!(engine.memory_bytes() <= 6 * 1024);
+    /// }
+    /// assert!(engine.stats().js_evictions > 0);
+    /// ```
+    pub fn maintain_memory(&mut self) -> usize {
+        let Some(limit) = self.config.mem_limit else {
+            return 0;
+        };
+        let used = self.memory_bytes();
+        self.stats.peak_memory_bytes = self.stats.peak_memory_bytes.max(used as u64);
+        if used <= limit.high_bytes {
+            return 0;
+        }
+        let mut evicted = 0;
+        loop {
+            let used = self.memory_bytes();
+            if used <= limit.low_bytes {
+                break;
+            }
+            // In the hysteresis band, spare the final (most recently
+            // used) unit: it is typically the range an in-flight parked
+            // query just fetched, and re-evicting it would turn the
+            // restart into a refetch loop.
+            if self.lru.len() <= 1 && used <= limit.high_bytes {
+                break;
+            }
+            let Some(unit) = self.lru.pop_lru() else {
+                break;
+            };
+            if self.evict_one(unit) {
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Evicts one unit (already removed from the LRU tracker). Returns
+    /// `false` when the unit turned out unevictable — a base table
+    /// whose cached rows are all authoritative — and was skipped.
+    fn evict_one(&mut self, unit: EvictUnit) -> bool {
+        match unit {
+            EvictUnit::Js(jidx, jsid) => {
+                self.teardown_jsrange(jidx as usize, jsid, true);
+                self.stats.js_evictions += 1;
+                true
+            }
+            EvictUnit::Base(prefix) => {
+                let range = KeyRange::prefix(prefix.clone());
+                // Rows this engine is the authority for are the only
+                // copy and stay put; only replicas are droppable.
+                let authority = self.base_authority.clone();
+                let mut doomed = Vec::new();
+                self.store.scan(&range, |k, _| {
+                    if authority.as_ref().is_none_or(|auth| !auth(k)) {
+                        doomed.push(k.clone());
+                    }
+                    true
+                });
+                if authority.is_some() && doomed.is_empty() {
+                    // Every cached row in this table is ours: there is
+                    // nothing to reclaim, and invalidating dependents
+                    // would rebuild computed data for zero bytes freed.
+                    // Skip the unit; the next read re-registers it.
+                    return false;
+                }
+                // Source-side dependents: computed ranges maintained from
+                // this base data must recompute once it is gone.
+                let mut dependents: Vec<(usize, JsId)> = Vec::new();
+                for node in self.updaters.overlapping(&range) {
+                    if let Some(entries) = self.updaters.entries(node) {
+                        for e in entries {
+                            dependents.push((e.join.0 as usize, e.js));
+                        }
+                    }
+                }
+                for (jidx, jsid) in dependents {
+                    self.complete_invalidate(jidx, jsid);
+                }
+                // Output-side dependents: if a join *writes into* the
+                // evicted table (a partitioned output table in a sharded
+                // deployment), its materialized ranges lose their rows
+                // below and must recompute too.
+                for jidx in 0..self.joins.len() {
+                    let clip = self.joins[jidx].output_range().intersect(&range);
+                    if clip.is_empty() {
+                        continue;
+                    }
+                    let covered: Vec<JsId> = self.status[jidx]
+                        .segments(&clip)
+                        .into_iter()
+                        .filter_map(|seg| match seg {
+                            Segment::Covered(id) => Some(id),
+                            Segment::Gap(_) => None,
+                        })
+                        .collect();
+                    for jsid in covered {
+                        self.complete_invalidate(jidx, jsid);
+                    }
+                }
+                // Drop the replica rows silently (eviction, not
+                // deletion) and release the residency bookkeeping; kept
+                // authoritative rows re-prove residency on the next
+                // read without a refetch.
+                for k in &doomed {
+                    self.store.remove(k);
+                }
+                if let Some(rs) = self.remote.get_mut(&prefix) {
+                    rs.clear();
+                }
+                self.stats.base_evictions += 1;
+                true
+            }
+        }
     }
 }
 

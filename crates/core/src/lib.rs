@@ -68,7 +68,7 @@ pub mod types;
 pub mod updater;
 
 pub use client::{BackendStats, Client, Command, Response};
-pub use config::{EngineConfig, EngineStats, MaterializationMode};
-pub use engine::{Engine, EvictUnit};
+pub use config::{EngineConfig, EngineStats, MaterializationMode, MemoryLimit};
+pub use engine::{BaseAuthority, Engine, EvictUnit, JS_RANGE_OVERHEAD_BYTES};
 pub use sharded::{ShardStats, ShardedEngine, ShardedHandle};
 pub use types::{CountResult, EngineError, JoinId, JsId, ScanResult, WriteKind};

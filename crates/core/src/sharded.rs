@@ -26,6 +26,12 @@
 //!   installed atomically — so even cross-shard ranges answer exactly
 //!   like a single [`Engine`] (at broadcast cost; the paper's client
 //!   routing keeps the hot paths single-shard).
+//! * A [`MemoryLimit`](crate::config::MemoryLimit) in the config is
+//!   split into even per-shard budgets. Each shard evicts its own LRU
+//!   computed ranges and cached peer replicas (§2.5) — never the rows
+//!   it is the partition's authority for — and the merged `Stats`
+//!   reply sums footprints and eviction counters node-wide (see
+//!   `docs/MEMORY.md`).
 //!
 //! # Consistency
 //!
@@ -243,13 +249,7 @@ impl ShardWorker {
                 let _ = reply.send((id, resp));
             }
             Command::Stats => {
-                let _ = reply.send((
-                    id,
-                    Response::Stats(BackendStats {
-                        keys: self.engine.store_stats().keys as u64,
-                        memory_bytes: self.engine.memory_bytes() as u64,
-                    }),
-                ));
+                let _ = reply.send((id, Response::Stats(self.engine.backend_stats())));
             }
         }
     }
@@ -421,6 +421,11 @@ impl ShardWorker {
     /// change what this shard believes is resident about keys it does
     /// not own.
     fn serve_subscribe(&mut self, range: &KeyRange) -> Vec<(Key, Value)> {
+        // Suspend automatic eviction while granting: the scan below
+        // deliberately claims transient residency that is snapshotted
+        // and restored, and an eviction in between would drop rows the
+        // restored residency still vouches for.
+        let saved_limit = self.engine.set_mem_limit(None);
         let snapshot: Vec<(Key, RangeSet)> = self
             .engine
             .remote
@@ -440,6 +445,7 @@ impl ShardWorker {
         for (prefix, resident) in snapshot {
             self.engine.remote.insert(prefix, resident);
         }
+        self.engine.set_mem_limit(saved_limit);
         pairs.retain(|(k, _)| self.home_shard(k) == self.shard);
         pairs
     }
@@ -612,8 +618,7 @@ impl ShardedHandle {
                     let mut total = BackendStats::default();
                     for r in replies {
                         if let Response::Stats(s) = r {
-                            total.keys += s.keys;
-                            total.memory_bytes += s.memory_bytes;
+                            total += s;
                         }
                     }
                     Response::Stats(total)
@@ -665,6 +670,16 @@ impl ShardedEngine {
     /// treats it as remote and fetches missing ranges from the owning
     /// shard by subscription.
     ///
+    /// A [`MemoryLimit`](crate::config::MemoryLimit) in `config` is the
+    /// budget for the whole node: it is split evenly into per-shard
+    /// budgets ([`MemoryLimit::split`](crate::config::MemoryLimit::split)),
+    /// each shard evicts against its own share, and
+    /// [`Command::Stats`] aggregates the
+    /// per-shard eviction counters and footprints back into one total.
+    /// Each shard is told which keys it is the authority for (via
+    /// `partition`), so eviction drops only replicated base data, never
+    /// the sole copy of a partitioned row.
+    ///
     /// ```
     /// use pequod_core::partition::ComponentHashPartition;
     /// use pequod_core::{Client, ShardedEngine};
@@ -697,12 +712,20 @@ impl ShardedEngine {
         let stats: Vec<Arc<ShardStats>> = (0..shards)
             .map(|_| Arc::new(ShardStats::default()))
             .collect();
+        // The configured memory limit is the node-wide budget; each
+        // shard enforces an even share of it.
+        let mut shard_config = config.clone();
+        shard_config.mem_limit = config.mem_limit.map(|limit| limit.split(shards));
         let mut threads = Vec::with_capacity(shards);
         for (shard, (_, rx)) in channels.into_iter().enumerate() {
-            let mut engine = Engine::new(config.clone());
+            let mut engine = Engine::new(shard_config.clone());
             for t in partitioned_tables {
                 engine.mark_remote_table(*t);
             }
+            let auth_partition = partition.clone();
+            engine.set_base_authority(move |key| {
+                auth_partition.home_of(key).0 as usize % shards == shard
+            });
             let worker = ShardWorker {
                 shard,
                 engine,

@@ -1,0 +1,162 @@
+//! Memory-limit mechanics at the engine level: watermark hysteresis,
+//! limit suspension, authority-aware base eviction, and output-table
+//! eviction invalidating the computed ranges whose rows it drops.
+
+use pequod_core::config::MemoryLimit;
+use pequod_core::{Engine, EngineConfig};
+use pequod_store::{Key, KeyRange};
+
+const TIMELINE: &str =
+    "t|<user>|<time:10>|<poster> = check s|<user>|<poster> copy p|<poster>|<time:10>";
+
+fn timeline_engine(limit: Option<MemoryLimit>) -> Engine {
+    let cfg = EngineConfig {
+        mem_limit: limit,
+        ..EngineConfig::default()
+    };
+    let mut e = Engine::new(cfg);
+    e.add_join_text(TIMELINE).unwrap();
+    e
+}
+
+#[test]
+fn watermarks_give_hysteresis() {
+    let limit = MemoryLimit::new(8 * 1024);
+    assert!(limit.low_bytes < limit.high_bytes);
+    let mut e = timeline_engine(Some(limit));
+    for u in 0..60u32 {
+        e.put(format!("s|u{u:03}|bob"), "1");
+    }
+    for t in 0..30u64 {
+        e.put(format!("p|bob|{t:010}"), "a tweet that takes up some room");
+    }
+    // Materialize far more than the cap; every read ends maintained.
+    for u in 0..60u32 {
+        let tl = e.scan(&KeyRange::prefix(format!("t|u{u:03}|")));
+        assert_eq!(tl.pairs.len(), 30);
+        assert!(e.memory_bytes() <= limit.high_bytes);
+    }
+    assert!(e.stats().js_evictions > 0);
+    // Eviction overshoots down to the low watermark, not just under the
+    // cap — the next few writes must not re-trigger it each time.
+    let evictions_before = e.stats().js_evictions;
+    e.put("p|bob|9999999999", "one more");
+    assert_eq!(e.stats().js_evictions, evictions_before);
+    assert!(e.stats().peak_memory_bytes > 0);
+}
+
+#[test]
+fn set_mem_limit_suspends_and_restores() {
+    let limit = MemoryLimit::new(4 * 1024);
+    let mut e = timeline_engine(Some(limit));
+    assert_eq!(e.mem_limit(), Some(limit));
+    let saved = e.set_mem_limit(None);
+    assert_eq!(saved, Some(limit));
+    // Unbounded while suspended: grow well past the cap.
+    for u in 0..40u32 {
+        e.put(format!("s|u{u:03}|bob"), "1");
+    }
+    for t in 0..30u64 {
+        e.put(format!("p|bob|{t:010}"), "a tweet that takes up some room");
+    }
+    for u in 0..40u32 {
+        e.scan(&KeyRange::prefix(format!("t|u{u:03}|")));
+    }
+    assert!(e.memory_bytes() > limit.high_bytes);
+    assert_eq!(e.stats().js_evictions, 0);
+    // Restoring re-arms maintenance at the next operation.
+    e.set_mem_limit(saved);
+    e.put("p|bob|9999999999", "trigger");
+    assert!(e.memory_bytes() <= limit.high_bytes);
+    assert!(e.stats().js_evictions > 0);
+}
+
+#[test]
+fn base_eviction_keeps_authoritative_rows() {
+    let mut e = Engine::new_default();
+    e.mark_remote_table("p|");
+    // This engine is the authority for bob's posts; liz's are a cached
+    // replica fetched from elsewhere.
+    e.set_base_authority(|key: &Key| key.as_bytes().starts_with(b"p|bob|"));
+    e.install_base(
+        &KeyRange::prefix("p|bob|"),
+        vec![(
+            Key::from("p|bob|0000000100"),
+            bytes::Bytes::from_static(b"mine"),
+        )],
+    );
+    e.install_base(
+        &KeyRange::prefix("p|liz|"),
+        vec![(
+            Key::from("p|liz|0000000200"),
+            bytes::Bytes::from_static(b"replica"),
+        )],
+    );
+    let evicted = e.evict_to(0);
+    assert!(evicted >= 1);
+    assert!(e.stats().base_evictions >= 1);
+    // The sole copy survives; the replica is dropped.
+    assert!(e.store().peek(&Key::from("p|bob|0000000100")).is_some());
+    assert!(e.store().peek(&Key::from("p|liz|0000000200")).is_none());
+    // Residency is released either way: both ranges must re-prove
+    // themselves on the next read.
+    let res = e.scan(&KeyRange::prefix("p|"));
+    assert!(!res.is_complete());
+}
+
+#[test]
+fn fully_authoritative_table_is_never_evicted() {
+    // A home shard whose cached rows are all its own: "evicting" the
+    // table would free nothing while invalidating every dependent
+    // computed range — so the unit is skipped entirely, residency and
+    // all, and the eviction counter stays honest.
+    let mut e = Engine::new_default();
+    e.mark_remote_table("p|");
+    e.set_base_authority(|_key: &Key| true);
+    e.install_base(
+        &KeyRange::prefix("p|bob|"),
+        vec![(
+            Key::from("p|bob|0000000100"),
+            bytes::Bytes::from_static(b"mine"),
+        )],
+    );
+    let evicted = e.evict_to(0);
+    assert_eq!(evicted, 0, "nothing reclaimable, nothing evicted");
+    assert_eq!(e.stats().base_evictions, 0);
+    assert!(e.store().peek(&Key::from("p|bob|0000000100")).is_some());
+    // Residency survives too: the next read needs no re-proving.
+    assert!(e.scan(&KeyRange::prefix("p|bob|")).is_complete());
+}
+
+#[test]
+fn evicting_an_output_table_invalidates_its_computed_ranges() {
+    // A deployment that partitions the *output* table (as the sharded
+    // engine does with timelines) marks it remote; evicting its cached
+    // rows must invalidate the join status ranges that own them, or a
+    // later read would serve a validated-but-empty range.
+    let mut e = Engine::new_default();
+    e.mark_remote_table("t|");
+    e.add_join_text(TIMELINE).unwrap();
+    e.put("s|ann|bob", "1");
+    e.put("p|bob|0000000100", "Hi");
+    e.mark_resident(&KeyRange::prefix("t|ann|"));
+    let want = e.scan(&KeyRange::prefix("t|ann|")).pairs;
+    assert_eq!(want.len(), 1);
+
+    let evicted = e.evict_to(0);
+    assert!(evicted >= 1);
+
+    // Transparent recompute: re-assert residency (the deployment would
+    // refetch/re-prove it) and read again — identical answer.
+    e.mark_resident(&KeyRange::prefix("t|ann|"));
+    let got = e.scan(&KeyRange::prefix("t|ann|")).pairs;
+    assert_eq!(got, want, "recomputed timeline diverged after eviction");
+}
+
+#[test]
+fn memory_limit_split_shares_evenly() {
+    let limit = MemoryLimit::with_watermarks(1 << 20, 1 << 19);
+    let share = limit.split(4);
+    assert_eq!(share.high_bytes, (1 << 20) / 4);
+    assert_eq!(share.low_bytes, (1 << 19) / 4);
+}

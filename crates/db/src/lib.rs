@@ -15,7 +15,7 @@
 
 #![warn(missing_docs)]
 
-use pequod_core::{BackendStats, Client, Command, Engine, Response, ScanResult};
+use pequod_core::{Client, Command, Engine, Response, ScanResult};
 use pequod_store::{Key, KeyRange, Value};
 use std::collections::{BTreeMap, VecDeque};
 use std::ops::Bound;
@@ -331,10 +331,9 @@ impl Client for WriteAround {
                     // the cache; the resident maximum approximates the
                     // authoritative key count without double-counting
                     // cached replicas.
-                    Response::Stats(BackendStats {
-                        keys: (self.db.len() as u64).max(self.cache.store_stats().keys as u64),
-                        memory_bytes: self.cache.memory_bytes() as u64,
-                    })
+                    let mut stats = self.cache.backend_stats();
+                    stats.keys = stats.keys.max(self.db.len() as u64);
+                    Response::Stats(stats)
                 }
             })
             .collect();

@@ -101,9 +101,7 @@ impl ClusterClient {
     fn local_stats(&self) -> BackendStats {
         let mut stats = BackendStats::default();
         for i in 0..self.cluster.len() {
-            let engine = &self.cluster.node(ServerId(i as u32)).engine;
-            stats.keys += engine.store_stats().keys as u64;
-            stats.memory_bytes += engine.memory_bytes() as u64;
+            stats += self.cluster.node(ServerId(i as u32)).engine.backend_stats();
         }
         stats
     }

@@ -90,6 +90,12 @@ impl ServerNode {
         for t in partitioned_tables {
             engine.mark_remote_table(*t);
         }
+        // Memory-bounded serving (§2.5): eviction at this node may drop
+        // replicated base data (the home server still has it and the
+        // next read re-subscribes), but never rows this node is the
+        // partition's authority for — those are the only copy.
+        let auth_partition = partition.clone();
+        engine.set_base_authority(move |key| auth_partition.home_of(key) == id);
         ServerNode {
             id,
             engine,
@@ -338,18 +344,23 @@ impl ServerNode {
     }
 
     /// Scans a locally-homed range to serve a subscription, resolving
-    /// local residency along the way.
+    /// local residency along the way. Automatic eviction is suspended
+    /// for the duration: the grant must ship a stable snapshot, not one
+    /// with rows dropped mid-scan.
     fn local_scan(&mut self, range: &KeyRange) -> Vec<(Key, Value)> {
-        loop {
+        let saved_limit = self.engine.set_mem_limit(None);
+        let pairs = loop {
             let res = self.engine.scan(range);
             if res.is_complete() {
-                return res.pairs;
+                break res.pairs;
             }
             for miss in res.missing {
                 // We serve subscriptions only for ranges we are home to;
                 // whatever is absent here is absent, period.
                 self.engine.mark_resident(&miss);
             }
-        }
+        };
+        self.engine.set_mem_limit(saved_limit);
+        pairs
     }
 }

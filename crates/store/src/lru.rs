@@ -2,8 +2,33 @@
 //!
 //! Pequod evicts the least recently used data ranges under memory
 //! pressure (§2.5). The engine tags each evictable unit (a join status
-//! range, a remote-subscription range, or a cached base range) with an id
-//! and touches it on access; eviction pops ids in LRU order.
+//! range, a remote-subscription range, or a cached base range) with an
+//! id and [`touch`](LruTracker::touch)es it on access; eviction
+//! [`pop`](LruTracker::pop_lru)s ids in LRU order. The tracker is the
+//! ordering half of memory-bounded serving: the engine's automatic
+//! eviction (`Engine::maintain_memory` in `pequod-core`, documented in
+//! `docs/MEMORY.md`) pops from here until its footprint is back under
+//! the configured watermarks.
+//!
+//! Both operations are `O(log n)`: a `BTreeMap` keyed by a logical
+//! use-clock gives the ordering, and a `HashMap` from id to its current
+//! clock value makes re-touching (the hot path — every read touches its
+//! ranges) a remove-and-reinsert rather than a scan.
+//!
+//! ```
+//! use pequod_store::LruTracker;
+//!
+//! let mut lru = LruTracker::new();
+//! lru.touch("ann's timeline");
+//! lru.touch("bob's timeline");
+//! lru.touch("cat's timeline");
+//! // ann reads her timeline again: she is no longer the coldest.
+//! lru.touch("ann's timeline");
+//! // Under memory pressure the engine pops the coldest unit first.
+//! assert_eq!(lru.pop_lru(), Some("bob's timeline"));
+//! assert_eq!(lru.peek_lru(), Some(&"cat's timeline"));
+//! assert_eq!(lru.len(), 2);
+//! ```
 
 use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
@@ -42,6 +67,18 @@ impl<T: Clone + Eq + Hash> LruTracker<T> {
     }
 
     /// Marks `id` as just used (inserting it if new).
+    ///
+    /// ```
+    /// use pequod_store::LruTracker;
+    ///
+    /// let mut lru = LruTracker::new();
+    /// lru.touch(1);
+    /// lru.touch(2);
+    /// lru.touch(1); // refreshed: 2 is now the eviction candidate
+    /// assert_eq!(lru.pop_lru(), Some(2));
+    /// assert_eq!(lru.pop_lru(), Some(1));
+    /// assert_eq!(lru.pop_lru(), None);
+    /// ```
     pub fn touch(&mut self, id: T) {
         if let Some(old) = self.time_of.get(&id) {
             self.by_time.remove(old);

@@ -51,6 +51,16 @@ pub struct Table {
     len: usize,
     repr: Repr,
     stats: TableStats,
+    /// Incrementally maintained subtable-index overhead, so memory
+    /// accounting (queried after every operation on a memory-bounded
+    /// engine) is O(1) instead of walking the prefix index.
+    index_bytes: usize,
+}
+
+/// Estimated index overhead of one subtable prefix: the prefix key
+/// stored twice (hash + ordered index) plus map-entry overhead.
+fn index_entry_bytes(prefix: &Key) -> usize {
+    2 * prefix.len() + 48
 }
 
 impl Table {
@@ -60,6 +70,7 @@ impl Table {
             len: 0,
             repr: Repr::Flat(BTreeMap::new()),
             stats: TableStats::default(),
+            index_bytes: 0,
         }
     }
 
@@ -78,6 +89,7 @@ impl Table {
                 order: BTreeSet::new(),
             },
             stats: TableStats::default(),
+            index_bytes: 0,
         }
     }
 
@@ -104,17 +116,11 @@ impl Table {
         }
     }
 
-    /// Approximate bookkeeping overhead in bytes beyond the stored pairs:
-    /// subtable index entries. Used by the memory-accounting ablation.
+    /// Approximate bookkeeping overhead in bytes beyond the stored
+    /// pairs: subtable index entries (0 for a flat table). Maintained
+    /// incrementally as subtables appear and empty out, so this is O(1).
     pub fn bookkeeping_bytes(&self) -> usize {
-        match &self.repr {
-            Repr::Flat(_) => 0,
-            Repr::Split { order, .. } => order
-                .iter()
-                // prefix key stored twice (hash + ordered index) plus map overhead
-                .map(|p| 2 * p.len() + 48)
-                .sum(),
-        }
+        self.index_bytes
     }
 
     /// Inserts or replaces a pair, returning the previous value.
@@ -129,6 +135,7 @@ impl Table {
                     None => {
                         let mut sub = BTreeMap::new();
                         sub.insert(key, value);
+                        self.index_bytes += index_entry_bytes(&prefix);
                         order.insert(prefix.clone());
                         subs.insert(prefix, sub);
                         None
@@ -171,6 +178,7 @@ impl Table {
                 let sub = subs.get_mut(&prefix)?;
                 let removed = sub.remove(key);
                 if removed.is_some() && sub.is_empty() {
+                    self.index_bytes -= index_entry_bytes(&prefix);
                     subs.remove(&prefix);
                     order.remove(&prefix);
                 }

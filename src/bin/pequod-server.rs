@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! pequod-server [--listen ADDR] [--join 'SPEC'] [--joins-file PATH]
-//!               [--subtable PREFIX:DEPTH]
+//!               [--subtable PREFIX:DEPTH] [--mem-limit-mb N]
 //!               [--shards N] [--shard-table PREFIX] [--shard-component C]
 //! ```
 //!
@@ -16,9 +16,15 @@
 //! (default `p|` and `s|`) partitioned across shards and kept fresh by
 //! in-process subscriptions. Each TCP connection gets its own shard
 //! handle, so concurrent clients use every core.
+//!
+//! `--mem-limit-mb N` serves memory-bounded (§2.5): the node evicts
+//! least-recently-used computed ranges (and cached replicas) to keep
+//! its estimated footprint under N MiB, transparently recomputing
+//! evicted data on the next read. With `--shards` the budget is split
+//! evenly across shards. See `docs/MEMORY.md`.
 
 use pequod::core::partition::ComponentHashPartition;
-use pequod::core::{Client, Engine, EngineConfig, ShardedEngine};
+use pequod::core::{Client, Engine, EngineConfig, MemoryLimit, ShardedEngine};
 use pequod::store::StoreConfig;
 use std::sync::Arc;
 
@@ -26,6 +32,7 @@ fn main() {
     let mut listen = "127.0.0.1:7634".to_string();
     let mut joins: Vec<String> = Vec::new();
     let mut store = StoreConfig::flat();
+    let mut mem_limit: Option<MemoryLimit> = None;
     let mut shards: usize = 1;
     let mut shard_tables: Vec<String> = Vec::new();
     let mut shard_component: usize = 1;
@@ -48,6 +55,14 @@ fn main() {
                 let depth: usize = depth.parse().expect("subtable depth must be a number");
                 store = store.with_subtable(prefix, depth);
             }
+            "--mem-limit-mb" => {
+                let mb: usize = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--mem-limit-mb needs a positive number of MiB");
+                assert!(mb >= 1, "--mem-limit-mb needs a positive number of MiB");
+                mem_limit = Some(MemoryLimit::mb(mb));
+            }
             "--shards" => {
                 shards = args
                     .next()
@@ -68,6 +83,7 @@ fn main() {
                 println!(
                     "pequod-server [--listen ADDR] [--join 'SPEC']... \
                      [--joins-file PATH] [--subtable PREFIX:DEPTH]... \
+                     [--mem-limit-mb N] \
                      [--shards N] [--shard-table PREFIX]... [--shard-component C]"
                 );
                 return;
@@ -78,7 +94,19 @@ fn main() {
             }
         }
     }
-    let config = EngineConfig::with_store(store);
+    let mut config = EngineConfig::with_store(store);
+    config.mem_limit = mem_limit;
+    if let Some(limit) = mem_limit {
+        eprintln!(
+            "memory-bounded serving: cap {} MiB{}",
+            limit.high_bytes >> 20,
+            if shards > 1 {
+                format!(" split over {shards} shards")
+            } else {
+                String::new()
+            }
+        );
+    }
     let install = |client: &mut dyn Client| {
         for text in &joins {
             match client.add_join(text) {

@@ -76,8 +76,8 @@ pub use pequod_workloads as workloads;
 /// The most common imports.
 pub mod prelude {
     pub use pequod_core::{
-        BackendStats, Client, Command, Engine, EngineConfig, MaterializationMode, Response,
-        ScanResult,
+        BackendStats, Client, Command, Engine, EngineConfig, MaterializationMode, MemoryLimit,
+        Response, ScanResult,
     };
     pub use pequod_join::{JoinSpec, Maintenance, Operator};
     pub use pequod_store::{Key, KeyRange, Store, StoreConfig, UpperBound, Value};

@@ -7,7 +7,7 @@
 //! drop-in for any other.
 
 use pequod::baselines::{MemcachedClient, MiniDbClient, RedisClient};
-use pequod::core::{Client, Command, Engine, EngineConfig, Response, ShardedEngine};
+use pequod::core::{Client, Command, Engine, EngineConfig, MemoryLimit, Response, ShardedEngine};
 use pequod::db::WriteAround;
 use pequod::net::{ClusterClient, ServerId, ServerNode, SimCluster, SimConfig, TablePartition};
 use pequod::prelude::*;
@@ -253,5 +253,124 @@ fn stats_answers_with_the_stats_variant() {
         client.put(&k("p|bob|0000000100"), &v("Hi"));
         let stats = client.stats();
         assert!(stats.keys >= 1, "{name} reported no keys");
+        assert_eq!(stats.js_evictions, 0, "{name}: no cap, no evictions");
+        assert_eq!(stats.base_evictions, 0, "{name}: no cap, no evictions");
+    }
+}
+
+/// A bigger deterministic script whose computed timelines dominate the
+/// footprint, so a cap at half the uncapped footprint forces evictions
+/// mid-script: 24 readers × 4 followees over 8 posters, several rounds
+/// of posting and timeline reads.
+fn pressure_script() -> Vec<Command> {
+    let mut script = vec![Command::AddJoin(TIMELINE.to_string())];
+    for u in 0..24u32 {
+        for f in 0..4u32 {
+            script.push(Command::Put(
+                k(&format!("s|r{u:03}|w{:03}", (u + f) % 8)),
+                v("1"),
+            ));
+        }
+    }
+    let mut time = 0u64;
+    for p in 0..8u32 {
+        for _ in 0..12 {
+            time += 1;
+            script.push(Command::Put(
+                k(&format!("p|w{p:03}|{time:010}")),
+                v("a tweet of plausible length for the feed"),
+            ));
+        }
+    }
+    for _round in 0..3 {
+        for u in 0..24u32 {
+            script.push(Command::Scan(KeyRange::prefix(format!("t|r{u:03}|"))));
+            script.push(Command::Count(KeyRange::prefix(format!("t|r{u:03}|"))));
+        }
+        for p in 0..8u32 {
+            time += 1;
+            script.push(Command::Put(
+                k(&format!("p|w{p:03}|{time:010}")),
+                v("a follow-up tweet between read rounds"),
+            ));
+        }
+        script.push(Command::Remove(k(&format!("p|w000|{:010}", time - 7))));
+    }
+    script
+}
+
+/// Recompute transparency (§2.5): a memory-capped deployment must
+/// answer the shared script byte-identically to an uncapped engine, on
+/// every join-capable backend that can run capped — the in-process
+/// engine, the sharded engine (per-shard budgets), and the simulated
+/// cluster (per-node budgets). The cap is calibrated to half of the
+/// uncapped engine's footprint on the same script, so eviction provably
+/// fires while the script runs.
+#[test]
+fn capped_backends_answer_like_uncapped_ones() {
+    // Reference + calibration: the uncapped engine.
+    let mut reference = Engine::new(EngineConfig::default());
+    let want = run_script(&mut reference, pressure_script());
+    let footprint = Client::stats(&mut reference).memory_bytes as usize;
+    let limit = MemoryLimit::new(footprint / 2);
+
+    let capped: Vec<BackendFactory> = vec![
+        (
+            "engine",
+            Box::new(move || {
+                Box::new(Engine::new(EngineConfig::default().with_mem_limit(limit)))
+                    as Box<dyn Client>
+            }),
+        ),
+        (
+            "sharded",
+            Box::new(move || {
+                // ShardedEngine splits the node budget per shard itself.
+                let part = Arc::new(TablePartition::new(ServerId(0)).route("p|", ServerId(1)));
+                Box::new(ShardedEngine::new(
+                    2,
+                    EngineConfig::default().with_mem_limit(limit),
+                    part,
+                    TABLES,
+                )) as Box<dyn Client>
+            }),
+        ),
+        (
+            "cluster",
+            Box::new(move || {
+                // Cluster nodes are configured explicitly: give each
+                // server an even share of the deployment budget.
+                let part = Arc::new(TablePartition::new(ServerId(0)).route("p|", ServerId(1)));
+                let nodes = (0..2)
+                    .map(|i| {
+                        ServerNode::new(
+                            ServerId(i),
+                            Engine::new(EngineConfig::default().with_mem_limit(limit.split(2))),
+                            part.clone(),
+                            TABLES,
+                        )
+                    })
+                    .collect();
+                Box::new(ClusterClient::new(
+                    SimCluster::new(SimConfig::default(), nodes),
+                    part,
+                )) as Box<dyn Client>
+            }),
+        ),
+    ];
+    for (name, make) in capped {
+        let mut client = make();
+        let got = run_script(&mut *client, pressure_script());
+        assert_eq!(
+            got, want,
+            "capped {name} answered the script differently from the uncapped engine"
+        );
+        let stats = client.stats();
+        assert!(
+            stats.js_evictions + stats.base_evictions > 0,
+            "capped {name} never evicted (cap {} bytes, footprint {} bytes)",
+            limit.high_bytes,
+            footprint
+        );
     }
 }

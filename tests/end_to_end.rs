@@ -3,7 +3,8 @@
 //! workload crates.
 
 use pequod::baselines::{ClientPequodTwip, MemcachedTwip, PostgresTwip, RedisTwip};
-use pequod::core::{Engine, EngineConfig, MaterializationMode};
+use pequod::core::partition::ComponentHashPartition;
+use pequod::core::{Engine, EngineConfig, MaterializationMode, MemoryLimit, ShardedEngine};
 use pequod::db::WriteAround;
 use pequod::net::{
     ServerId, ServerNode, SimCluster, SimConfig, TablePartition, TcpClient, TcpServer,
@@ -157,6 +158,68 @@ fn tcp_server_serves_newp_pages() {
             "page|n1|0001|c|c1|n2".to_string(),
             "page|n1|0001|r".to_string(),
         ]
+    );
+}
+
+/// Memory-bounded serving over real sockets: a TCP node with a memory
+/// cap (what `pequod-server --mem-limit-mb` configures) evicts under
+/// load yet answers every request exactly like an unbounded node —
+/// single-engine and sharded backends alike.
+#[test]
+fn tcp_servers_serve_memory_bounded() {
+    let limit = MemoryLimit::new(24 * 1024);
+    let drive = |c: &mut TcpClient| -> Vec<Vec<(Key, Value)>> {
+        c.add_join(TIMELINE).unwrap();
+        for u in 0..40u32 {
+            c.put(format!("s|u{u:07}|u0000099"), "1").unwrap();
+        }
+        for t in 0..40u64 {
+            c.put(
+                format!("p|u0000099|{t:010}"),
+                "a tweet with some body to it",
+            )
+            .unwrap();
+        }
+        let mut reads = Vec::new();
+        for _round in 0..2 {
+            for u in 0..40u32 {
+                reads.push(c.scan(KeyRange::prefix(format!("t|u{u:07}|"))).unwrap());
+            }
+        }
+        reads
+    };
+
+    let unbounded = TcpServer::spawn("127.0.0.1:0", Engine::new_default()).unwrap();
+    let want = drive(&mut TcpClient::connect(unbounded.addr()).unwrap());
+
+    let capped_cfg = EngineConfig::default().with_mem_limit(limit);
+    let capped = TcpServer::spawn("127.0.0.1:0", Engine::new(capped_cfg.clone())).unwrap();
+    let got = drive(&mut TcpClient::connect(capped.addr()).unwrap());
+    assert_eq!(got, want, "capped TCP node diverged from unbounded");
+    {
+        let engine = capped.engine().expect("single-engine backend");
+        let engine = engine.lock().unwrap();
+        assert!(engine.stats().js_evictions > 0, "cap never triggered");
+        assert!(engine.memory_bytes() <= limit.high_bytes);
+    }
+
+    // The sharded node splits the same budget across its shards.
+    let part = Arc::new(ComponentHashPartition {
+        component: 1,
+        servers: 2,
+    });
+    let sharded = ShardedEngine::new(2, capped_cfg, part, &["p|", "s|"]);
+    let sharded_srv = TcpServer::spawn_sharded("127.0.0.1:0", sharded).unwrap();
+    let got = drive(&mut TcpClient::connect(sharded_srv.addr()).unwrap());
+    assert_eq!(got, want, "capped sharded TCP node diverged from unbounded");
+    let mut handle = sharded_srv
+        .sharded()
+        .expect("sharded backend")
+        .client_handle();
+    let stats = handle.stats();
+    assert!(
+        stats.js_evictions + stats.base_evictions > 0,
+        "sharded cap never triggered"
     );
 }
 
