@@ -126,7 +126,7 @@ fn run_once(exp: &Experiment, label: &str, cap: Option<MemoryLimit>) -> Run {
     let stats = run_twip(&mut backend, &exp.graph, &exp.workload, exp.initial_posts);
     // Snapshot counters and footprint before the digest pass below
     // re-reads (and on a capped engine, recomputes) every timeline.
-    let es = *backend.engine.stats();
+    let es = *backend.engine.engine_stats();
     let final_memory = backend.engine.memory_bytes();
     let answers_digest = timelines_digest(&mut backend.engine, exp.graph.users());
     // Reads answered without a fresh materialization, over the whole

@@ -1,0 +1,283 @@
+//! Recovery bench: what durability costs on the write path, and what
+//! it buys at restart.
+//!
+//! Two measurements, both on the zipf-skewed Twip-shaped base load:
+//!
+//! 1. **Logging overhead** — the same base ingest (subscriptions +
+//!    posts through full incremental maintenance) with no WAL versus a
+//!    WAL under each fsync policy (`never`, `every:64`, `always`).
+//!    Reported as ops/s and a slowdown ratio against the volatile
+//!    engine.
+//! 2. **Restart-to-first-fresh-read** — after the durable run, a fresh
+//!    process recovers from snapshot + log (`attach`) and serves its
+//!    first timeline read (which lazily re-derives that computed
+//!    range); versus a *cold* start that must re-ingest every base
+//!    pair from a backing store before it can serve the same read.
+//!    Both paths must answer the read byte-identically — the binary
+//!    exits non-zero if they diverge.
+//!
+//! ```text
+//! recovery [--scale S] [--json PATH]
+//! ```
+//!
+//! CI's `recovery-smoke` job publishes `BENCH_recovery_smoke.json` per
+//! push (the durability counterpart of the eviction-smoke artifact).
+
+use pequod_bench::{arg_value, mib, print_table, ratio, secs, Scale};
+use pequod_core::{Engine, EngineConfig};
+use pequod_persist::{attach, FsyncPolicy, PersistOptions};
+use pequod_store::{Key, KeyRange, StoreConfig, Value};
+use std::path::PathBuf;
+use std::time::Instant;
+
+const TIMELINE: &str =
+    "t|<user>|<time:10>|<poster> = check s|<user>|<poster> copy p|<poster>|<time:10>";
+
+struct Load {
+    users: u32,
+    /// (key, value) base writes: follow edges then posts, zipf-skewed
+    /// posters so timelines have real fan-in.
+    writes: Vec<(Key, Value)>,
+}
+
+fn load(scale: &Scale) -> Load {
+    let users = scale.count(400) as u32;
+    let posts = scale.count(20_000);
+    let mut writes = Vec::with_capacity(posts as usize + users as usize * 4);
+    // Deterministic follower graph: user u follows 4 accounts skewed
+    // toward low ids (the celebrities).
+    let mut state = 0x5eed_f00du64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for u in 0..users {
+        for f in 0..4 {
+            let skew = (rng() % ((u as u64 + 2) * (f + 1))) as u32 % users;
+            writes.push((
+                Key::from(format!("s|u{u:04}|u{skew:04}")),
+                Value::from_static(b"1"),
+            ));
+        }
+    }
+    for i in 0..posts {
+        let poster = ((rng() % users as u64) * (rng() % users as u64) / users as u64) as u32;
+        writes.push((
+            Key::from(format!("p|u{poster:04}|{:010}", 1_000_000 + i)),
+            Value::from(format!("post-{i}").into_bytes()),
+        ));
+    }
+    Load { users, writes }
+}
+
+fn engine() -> Engine {
+    let mut e = Engine::new(EngineConfig::with_store(
+        StoreConfig::flat()
+            .with_subtable("t|", 2)
+            .with_subtable("p|", 2),
+    ));
+    e.add_join_text(TIMELINE).unwrap();
+    e
+}
+
+struct IngestRun {
+    label: String,
+    seconds: f64,
+    ops: u64,
+}
+
+fn ingest(label: &str, dir: Option<(&PathBuf, FsyncPolicy)>, loadset: &Load) -> IngestRun {
+    let mut e = engine();
+    if let Some((dir, fsync)) = dir {
+        let _ = std::fs::remove_dir_all(dir);
+        attach(
+            &mut e,
+            dir,
+            PersistOptions {
+                fsync,
+                snapshot_every: None,
+            },
+        )
+        .unwrap_or_else(|err| panic!("attach {}: {err}", dir.display()));
+    }
+    let t0 = Instant::now();
+    for (k, v) in &loadset.writes {
+        e.put(k.clone(), v.clone());
+    }
+    IngestRun {
+        label: label.to_string(),
+        seconds: t0.elapsed().as_secs_f64(),
+        ops: loadset.writes.len() as u64,
+    }
+}
+
+/// First fresh read: the hottest user's whole timeline (computed — a
+/// warm restart must re-derive it, a cold start must first own the
+/// base data).
+fn first_read(e: &mut Engine) -> Vec<(Key, Value)> {
+    e.scan(&KeyRange::prefix("t|u0000|")).pairs
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let loadset = load(&scale);
+    println!(
+        "recovery: {} users, {} base writes",
+        loadset.users,
+        loadset.writes.len()
+    );
+    let base = std::env::temp_dir().join(format!("pequod-recovery-bench-{}", std::process::id()));
+    let wal_dir = base.join("sweep");
+    let keep_dir = base.join("restart");
+
+    // --- Phase 1: logging overhead sweep -------------------------------
+    let mut runs = vec![ingest("no-wal", None, &loadset)];
+    for (label, fsync) in [
+        ("wal+never", FsyncPolicy::Never),
+        ("wal+every:64", FsyncPolicy::EveryN(64)),
+        ("wal+always", FsyncPolicy::Always),
+    ] {
+        runs.push(ingest(label, Some((&wal_dir, fsync)), &loadset));
+    }
+    let base_secs = runs[0].seconds;
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                secs(r.seconds),
+                format!("{:.0}", r.ops as f64 / r.seconds.max(1e-9)),
+                ratio(r.seconds / base_secs),
+            ]
+        })
+        .collect();
+    print_table(
+        "Logging overhead — base ingest, volatile vs WAL fsync policies",
+        &["mode", "runtime (s)", "ops/s", "vs no-wal"],
+        &rows,
+    );
+
+    // --- Phase 2: restart-to-first-fresh-read vs cold recompute --------
+    // Build the durable state once (fsync irrelevant for this phase).
+    let reference_read;
+    {
+        let mut e = engine();
+        let _ = std::fs::remove_dir_all(&keep_dir);
+        attach(&mut e, &keep_dir, PersistOptions::default())
+            .unwrap_or_else(|err| panic!("attach: {err}"));
+        for (k, v) in &loadset.writes {
+            e.put(k.clone(), v.clone());
+        }
+        reference_read = first_read(&mut e);
+    }
+
+    // Warm restart: snapshot + log replay, then the first read
+    // re-derives the timeline.
+    let t0 = Instant::now();
+    let mut warm = engine();
+    let report = attach(&mut warm, &keep_dir, PersistOptions::default())
+        .unwrap_or_else(|err| panic!("recover: {err}"));
+    let warm_recover_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let warm_read = first_read(&mut warm);
+    let warm_read_secs = t1.elapsed().as_secs_f64();
+
+    // Cold start: nothing on disk — every base pair must come back
+    // from a backing store (modeled at memory speed: a lower bound on
+    // any real refetch) before the read can be served.
+    let t2 = Instant::now();
+    let mut cold = engine();
+    for (k, v) in &loadset.writes {
+        cold.put(k.clone(), v.clone());
+    }
+    let cold_ingest_secs = t2.elapsed().as_secs_f64();
+    let t3 = Instant::now();
+    let cold_read = first_read(&mut cold);
+    let cold_read_secs = t3.elapsed().as_secs_f64();
+
+    let warm_total = warm_recover_secs + warm_read_secs;
+    let cold_total = cold_ingest_secs + cold_read_secs;
+    print_table(
+        "Restart-to-first-fresh-read — warm recovery vs cold recompute",
+        &[
+            "path",
+            "restore (s)",
+            "first read (s)",
+            "total (s)",
+            "vs cold",
+        ],
+        &[
+            vec![
+                "warm (snapshot+wal)".to_string(),
+                secs(warm_recover_secs),
+                secs(warm_read_secs),
+                secs(warm_total),
+                ratio(warm_total / cold_total),
+            ],
+            vec![
+                "cold (re-ingest)".to_string(),
+                secs(cold_ingest_secs),
+                secs(cold_read_secs),
+                secs(cold_total),
+                ratio(1.0),
+            ],
+        ],
+    );
+    println!(
+        "recovered generation {}: {} snapshot pairs + {} wal records, timeline = {} entries, footprint {}",
+        report.generation,
+        report.snapshot_pairs,
+        report.wal_records,
+        warm_read.len(),
+        mib(warm.memory_bytes()),
+    );
+
+    if let Some(path) = arg_value("--json") {
+        // Hand-rolled JSON, same convention as fig7/eviction (no serde
+        // offline).
+        let mut rows: Vec<String> = runs
+            .iter()
+            .map(|r| {
+                format!(
+                    "  {{\"phase\": \"ingest\", \"mode\": \"{}\", \"seconds\": {:.6}, \
+                     \"ops\": {}, \"ops_per_sec\": {:.1}, \"vs_no_wal\": {:.4}}}",
+                    r.label,
+                    r.seconds,
+                    r.ops,
+                    r.ops as f64 / r.seconds.max(1e-9),
+                    r.seconds / base_secs
+                )
+            })
+            .collect();
+        rows.push(format!(
+            "  {{\"phase\": \"restart\", \"mode\": \"warm\", \"restore_seconds\": {warm_recover_secs:.6}, \
+             \"first_read_seconds\": {warm_read_secs:.6}, \"total_seconds\": {warm_total:.6}, \
+             \"snapshot_pairs\": {}, \"wal_records\": {}}}",
+            report.snapshot_pairs, report.wal_records
+        ));
+        rows.push(format!(
+            "  {{\"phase\": \"restart\", \"mode\": \"cold\", \"restore_seconds\": {cold_ingest_secs:.6}, \
+             \"first_read_seconds\": {cold_read_secs:.6}, \"total_seconds\": {cold_total:.6}}}"
+        ));
+        let json = format!("[\n{}\n]\n", rows.join(",\n"));
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("\nwrote {path}");
+    }
+
+    let _ = std::fs::remove_dir_all(&base);
+
+    // Transparency gate: warm and cold must serve the identical first
+    // read — recovery that answered differently would be data loss or
+    // stale derivation, not a performance tradeoff.
+    if warm_read != cold_read || warm_read != reference_read {
+        eprintln!(
+            "FAIL: first read diverged (warm {} entries, cold {}, reference {})",
+            warm_read.len(),
+            cold_read.len(),
+            reference_read.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -240,6 +240,24 @@ impl Client for Engine {
             })
             .collect()
     }
+
+    /// Overridden to call [`Engine::backend_stats`] directly instead of
+    /// the default `execute_batch(vec![Command::Stats])` round trip.
+    ///
+    /// This closes PR 4's recursion footgun for good: with only the
+    /// default method, a `self.stats()` written inside `execute_batch`
+    /// (where autoref can resolve the call through `&mut &mut Engine`
+    /// to the *trait* method rather than an inherent one) would loop
+    /// `stats → execute → execute_batch → stats` forever. Now every
+    /// resolution of `stats` on an `Engine` — inherent-shadowed or not
+    /// — bottoms out in the non-recursive inherent
+    /// [`Engine::backend_stats`]. The former inherent `Engine::stats`
+    /// was renamed [`Engine::engine_stats`] so the two surfaces can no
+    /// longer be confused; `stats_cannot_recurse` below is the
+    /// regression test.
+    fn stats(&mut self) -> BackendStats {
+        self.backend_stats()
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +288,51 @@ mod tests {
         let stats = c.stats();
         assert!(stats.keys >= 1);
         assert!(stats.memory_bytes > 0);
+    }
+
+    /// Regression test for PR 4's footgun: `Client::stats` on an
+    /// `Engine` must bottom out in the inherent
+    /// [`Engine::backend_stats`], never loop back through
+    /// `execute_batch`. If the override were removed *and* a
+    /// `self.stats()` crept into client plumbing, these calls would
+    /// recurse until stack overflow; they must instead all agree with
+    /// `backend_stats` through every receiver shape — direct, generic
+    /// (monomorphized `&mut Engine`), double-reference, and `dyn`.
+    #[test]
+    fn stats_cannot_recurse() {
+        fn via_generic<C: Client>(c: &mut C) -> BackendStats {
+            c.stats()
+        }
+        fn via_double_ref(e: &mut &mut Engine) -> BackendStats {
+            // The receiver shape from the PR 4 note: autoref resolves
+            // through `&mut &mut Engine`.
+            e.stats()
+        }
+        let mut e = Engine::new_default();
+        e.put(Key::from("p|bob|0000000100"), Value::from_static(b"Hi"));
+        let want = e.backend_stats();
+        assert_eq!(via_generic(&mut e), want);
+        assert_eq!(via_double_ref(&mut &mut e), want);
+        let d: &mut dyn Client = &mut e;
+        assert_eq!(d.stats(), want);
+        // And the batched path (the one backend code must use) agrees.
+        assert_eq!(e.execute(Command::Stats), Response::Stats(want));
+        // The engine-internal counters are a different surface with a
+        // different name — no shadowing, no confusion.
+        assert_eq!(e.engine_stats().writes, 1);
+    }
+
+    #[test]
+    fn add_join_is_idempotent() {
+        let mut e = Engine::new_default();
+        let first = e.add_join_text(TIMELINE).unwrap();
+        let again = e.add_join_text(TIMELINE).unwrap();
+        assert_eq!(first, again, "identical spec returns the existing id");
+        assert_eq!(e.join_count(), 1);
+        // Maintenance fires once, not twice, per matching write.
+        e.put(Key::from("s|ann|bob"), Value::from_static(b"1"));
+        e.put(Key::from("p|bob|0000000100"), Value::from_static(b"Hi"));
+        assert_eq!(e.count(&KeyRange::prefix("t|ann|")), 1);
     }
 
     #[test]

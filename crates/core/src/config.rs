@@ -78,11 +78,39 @@ impl MemoryLimit {
 
     /// Splits this budget evenly over `n` engines (per-shard budgets in
     /// a sharded deployment). Each share keeps the same high/low ratio.
+    ///
+    /// Every engine gets the *floor* share, so up to `n − 1` bytes of
+    /// the budget go unused when it does not divide evenly; use
+    /// [`MemoryLimit::split_nth`] to hand the remainder out.
     pub fn split(&self, n: usize) -> MemoryLimit {
         assert!(n > 0, "cannot split a budget over zero engines");
         MemoryLimit {
             high_bytes: self.high_bytes / n,
             low_bytes: self.low_bytes / n,
+        }
+    }
+
+    /// The budget share of engine `index` among `n`, distributing the
+    /// remainder one byte at a time to the lowest-indexed engines so
+    /// the shares sum to **exactly** the node budget — never overshooting
+    /// the cap, never starving the last shard down to a floor share
+    /// smaller than its peers by more than one byte.
+    ///
+    /// ```
+    /// use pequod_core::config::MemoryLimit;
+    ///
+    /// let node = MemoryLimit::new(10);
+    /// let shares: Vec<usize> = (0..3).map(|i| node.split_nth(3, i).high_bytes).collect();
+    /// assert_eq!(shares, vec![4, 3, 3]);           // remainder to the front
+    /// assert_eq!(shares.iter().sum::<usize>(), 10); // exactly the cap
+    /// ```
+    pub fn split_nth(&self, n: usize, index: usize) -> MemoryLimit {
+        assert!(n > 0, "cannot split a budget over zero engines");
+        assert!(index < n, "engine index {index} out of {n}");
+        let share = |total: usize| total / n + usize::from(index < total % n);
+        MemoryLimit {
+            high_bytes: share(self.high_bytes),
+            low_bytes: share(self.low_bytes),
         }
     }
 }

@@ -15,6 +15,7 @@
 
 use crate::aggregate::{fmt_num, parse_num};
 use crate::config::{EngineConfig, EngineStats, MaterializationMode, MemoryLimit};
+use crate::durable::{Durability, DurableOp};
 use crate::status::{JsState, LoggedMod, StatusMap};
 use crate::types::{EngineError, JoinId, JsId, WriteKind};
 use crate::updater::{OutputHint, UpdaterEntry, UpdaterIndex};
@@ -65,6 +66,9 @@ pub struct Engine {
     /// deployments); `None` means all cached base data is a replica of
     /// some backing authority and may be dropped wholesale.
     pub(crate) base_authority: Option<BaseAuthority>,
+    /// Mutation-capture sink for durable base writes (`pequod-persist`
+    /// installs its write-ahead log here); `None` means volatile.
+    pub(crate) durability: Option<Box<dyn Durability>>,
 }
 
 impl Engine {
@@ -81,6 +85,7 @@ impl Engine {
             clock: 0,
             stats: EngineStats::default(),
             base_authority: None,
+            durability: None,
         }
     }
 
@@ -95,7 +100,15 @@ impl Engine {
     }
 
     /// Operation counters.
-    pub fn stats(&self) -> &EngineStats {
+    ///
+    /// Named `engine_stats` (not `stats`) on purpose: the
+    /// [`Client`](crate::Client) trait also has a `stats` method on
+    /// `Engine` returning
+    /// [`BackendStats`](crate::BackendStats), and an identically named
+    /// inherent method made every `self.stats()` inside client
+    /// plumbing a resolution puzzle (see
+    /// [`Engine::backend_stats`]).
+    pub fn engine_stats(&self) -> &EngineStats {
         &self.stats
     }
 
@@ -165,9 +178,10 @@ impl Engine {
     /// the payload every backend answers to
     /// [`Command::Stats`](crate::Command::Stats). One definition so the
     /// engine, sharded, write-around, and cluster backends cannot
-    /// drift, and an *inherent* method: inside `execute_batch` closures
-    /// the receiver is `&mut &mut Engine`, where a `self.stats()` call
-    /// would resolve to the `Client` trait method and recurse.
+    /// drift. `Engine`'s `Client::stats` override calls this directly
+    /// (never through `execute_batch`), so a `self.stats()` anywhere in
+    /// client plumbing — even through a `&mut &mut Engine` receiver —
+    /// can no longer recurse; `tests` below pin that down.
     pub fn backend_stats(&self) -> crate::BackendStats {
         crate::BackendStats {
             keys: self.store.stats().keys as u64,
@@ -192,6 +206,80 @@ impl Engine {
     }
 
     // ------------------------------------------------------------------
+    // Durability (mutation capture; see `crate::durable`)
+    // ------------------------------------------------------------------
+
+    /// Installs a durability sink. From now on every acknowledged
+    /// durable base mutation — a `put`/`remove` of a key this engine is
+    /// the authority for that is not in any join's output range, and
+    /// every newly installed join — is passed to
+    /// [`Durability::log`] *after* it is applied. Install the sink
+    /// **after** recovery replay, or replay will be re-logged.
+    pub fn set_durability(&mut self, durability: Box<dyn Durability>) {
+        self.durability = Some(durability);
+    }
+
+    /// Removes and returns the durability sink, making the engine
+    /// volatile again.
+    pub fn take_durability(&mut self) -> Option<Box<dyn Durability>> {
+        self.durability.take()
+    }
+
+    /// True if a durability sink is installed.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Whether a write to `key` is a *durable base* write: the key is
+    /// not in any installed join's output range (computed data is
+    /// re-derived, never persisted) and this engine is its authority
+    /// (replicas are the authority's log's responsibility).
+    pub fn is_durable_base(&self, key: &Key) -> bool {
+        if self.joins.iter().any(|j| j.output_range().contains(key)) {
+            return false;
+        }
+        match &self.base_authority {
+            Some(authority) => authority(key),
+            None => true,
+        }
+    }
+
+    /// The engine's durable state: installed join texts (installation
+    /// order) and every authoritative base pair, read raw from the
+    /// store — no validation, no recomputation, no residency changes.
+    /// This is exactly what a snapshot persists; everything else
+    /// (computed ranges, pending logged modifications, replica data)
+    /// rebuilds on demand after recovery.
+    pub fn durable_state(&mut self) -> (Vec<String>, Vec<(Key, Value)>) {
+        let joins: Vec<String> = self.joins.iter().map(|j| j.to_string()).collect();
+        let mut all = Vec::with_capacity(self.store.len());
+        self.store.scan(&KeyRange::all(), |k, v| {
+            all.push((k.clone(), v.clone()));
+            true
+        });
+        let pairs = all
+            .into_iter()
+            .filter(|(k, _)| self.is_durable_base(k))
+            .collect();
+        (joins, pairs)
+    }
+
+    /// Hands one captured mutation to the durability sink; if the sink
+    /// asks for a snapshot, collects durable state and delivers it. The
+    /// sink is taken out for the call so `durable_state` can borrow the
+    /// engine.
+    fn persist_op(&mut self, op: &DurableOp) {
+        let Some(mut durability) = self.durability.take() else {
+            return;
+        };
+        if durability.log(op) {
+            let (joins, pairs) = self.durable_state();
+            durability.snapshot(&joins, &pairs);
+        }
+        self.durability = Some(durability);
+    }
+
+    // ------------------------------------------------------------------
     // Join installation
     // ------------------------------------------------------------------
 
@@ -199,7 +287,17 @@ impl Engine {
     /// would form a cycle with already-installed joins. Under
     /// [`MaterializationMode::Full`] the join's entire output range is
     /// materialized immediately.
+    ///
+    /// Installation is **idempotent**: a spec textually identical to an
+    /// already-installed join returns the existing [`JoinId`] instead
+    /// of installing a second copy (which would double-fire
+    /// maintenance). Idempotence is what lets durable recovery and
+    /// server restarts replay `addjoin` safely.
     pub fn add_join(&mut self, spec: JoinSpec) -> Result<JoinId, EngineError> {
+        let text = spec.to_string();
+        if let Some(existing) = self.joins.iter().position(|j| j.to_string() == text) {
+            return Ok(JoinId(existing as u32));
+        }
         self.check_acyclic(&spec)?;
         let id = JoinId(self.joins.len() as u32);
         self.joins.push(Arc::new(spec));
@@ -208,6 +306,9 @@ impl Engine {
             let out_range = self.joins[id.0 as usize].output_range();
             let mut missing = Vec::new();
             self.validate_join(id.0 as usize, &out_range, &mut missing);
+        }
+        if self.durability.is_some() {
+            self.persist_op(&DurableOp::AddJoin(text));
         }
         Ok(id)
     }
@@ -343,14 +444,29 @@ impl Engine {
     // ------------------------------------------------------------------
 
     /// Inserts or replaces a key, running incremental maintenance.
+    ///
+    /// If a durability sink is installed and this is a durable base
+    /// write (see [`Engine::is_durable_base`]) the mutation is logged
+    /// after it is applied and before the caller regains control — the
+    /// acknowledgment a client later sees covers the log entry.
     pub fn put(&mut self, key: impl Into<Key>, value: impl Into<Value>) {
-        self.write(key.into(), Some(value.into()), false);
+        let key = key.into();
+        let value = value.into();
+        // `Key`/`Value` clone by reference count, so capture is cheap.
+        self.write(key.clone(), Some(value.clone()), false);
+        if self.durability.is_some() && self.is_durable_base(&key) {
+            self.persist_op(&DurableOp::Put(key, value));
+        }
         self.maintain_memory();
     }
 
-    /// Removes a key, running incremental maintenance.
+    /// Removes a key, running incremental maintenance. Logged to the
+    /// durability sink under the same rules as [`Engine::put`].
     pub fn remove(&mut self, key: &Key) {
         self.write(key.clone(), None, false);
+        if self.durability.is_some() && self.is_durable_base(key) {
+            self.persist_op(&DurableOp::Remove(key.clone()));
+        }
         self.maintain_memory();
     }
 

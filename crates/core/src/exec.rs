@@ -708,7 +708,7 @@ impl Engine {
     ///     assert_eq!(tl.pairs.len(), 20);
     ///     assert!(engine.memory_bytes() <= 6 * 1024);
     /// }
-    /// assert!(engine.stats().js_evictions > 0);
+    /// assert!(engine.engine_stats().js_evictions > 0);
     /// ```
     pub fn maintain_memory(&mut self) -> usize {
         let Some(limit) = self.config.mem_limit else {

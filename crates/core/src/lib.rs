@@ -53,12 +53,16 @@
 //! * [`aggregate`] — `count`/`sum`/`min`/`max` value handling.
 //! * [`config`] — materialization modes and the optimization toggles
 //!   measured in the paper's ablations.
+//! * [`durable`] — the mutation-capture hook `pequod_persist` plugs
+//!   into: every acknowledged durable base write (never computed
+//!   ranges, never replicas) reaches an installed [`Durability`] sink.
 
 #![warn(missing_docs)]
 
 pub mod aggregate;
 pub mod client;
 pub mod config;
+pub mod durable;
 mod engine;
 mod exec;
 pub mod partition;
@@ -69,6 +73,7 @@ pub mod updater;
 
 pub use client::{BackendStats, Client, Command, Response};
 pub use config::{EngineConfig, EngineStats, MaterializationMode, MemoryLimit};
+pub use durable::{Durability, DurableOp};
 pub use engine::{BaseAuthority, Engine, EvictUnit, JS_RANGE_OVERHEAD_BYTES};
 pub use sharded::{ShardStats, ShardedEngine, ShardedHandle};
 pub use types::{CountResult, EngineError, JoinId, JsId, ScanResult, WriteKind};

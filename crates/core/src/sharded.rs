@@ -671,8 +671,9 @@ impl ShardedEngine {
     /// shard by subscription.
     ///
     /// A [`MemoryLimit`](crate::config::MemoryLimit) in `config` is the
-    /// budget for the whole node: it is split evenly into per-shard
-    /// budgets ([`MemoryLimit::split`](crate::config::MemoryLimit::split)),
+    /// budget for the whole node: it is split into per-shard budgets
+    /// summing exactly to the cap
+    /// ([`MemoryLimit::split_nth`](crate::config::MemoryLimit::split_nth)),
     /// each shard evicts against its own share, and
     /// [`Command::Stats`] aggregates the
     /// per-shard eviction counters and footprints back into one total.
@@ -705,6 +706,26 @@ impl ShardedEngine {
         partition: Arc<dyn Partition>,
         partitioned_tables: &[&str],
     ) -> ShardedEngine {
+        ShardedEngine::new_with_setup(shards, config, partition, partitioned_tables, |_, _| Ok(()))
+            .expect("no-op shard setup cannot fail")
+    }
+
+    /// [`ShardedEngine::new`] with a per-shard setup hook, run on each
+    /// shard's engine after it is configured (remote tables marked,
+    /// base authority installed, budget split) and *before* its worker
+    /// thread starts. This is how a deployment gives every shard its
+    /// own environment — `pequod_persist::open_sharded` uses it to
+    /// recover each shard from, and log each shard to, its own data
+    /// directory (`shard-0/`, `shard-1/`, …). A setup error aborts
+    /// construction: the already-started shards are shut down and the
+    /// error is returned.
+    pub fn new_with_setup(
+        shards: usize,
+        config: EngineConfig,
+        partition: Arc<dyn Partition>,
+        partitioned_tables: &[&str],
+        mut setup: impl FnMut(usize, &mut Engine) -> Result<(), String>,
+    ) -> Result<ShardedEngine, String> {
         assert!(shards > 0, "a sharded engine needs at least one shard");
         let channels: Vec<(Sender<ShardMsg>, Receiver<ShardMsg>)> =
             (0..shards).map(|_| channel()).collect();
@@ -712,13 +733,14 @@ impl ShardedEngine {
         let stats: Vec<Arc<ShardStats>> = (0..shards)
             .map(|_| Arc::new(ShardStats::default()))
             .collect();
-        // The configured memory limit is the node-wide budget; each
-        // shard enforces an even share of it.
-        let mut shard_config = config.clone();
-        shard_config.mem_limit = config.mem_limit.map(|limit| limit.split(shards));
-        let mut threads = Vec::with_capacity(shards);
+        let mut threads: Vec<JoinHandle<()>> = Vec::with_capacity(shards);
         for (shard, (_, rx)) in channels.into_iter().enumerate() {
-            let mut engine = Engine::new(shard_config.clone());
+            // The configured memory limit is the node-wide budget; each
+            // shard enforces its exact share (remainder bytes go to the
+            // lowest-numbered shards, so the shares sum to the cap).
+            let mut shard_config = config.clone();
+            shard_config.mem_limit = config.mem_limit.map(|limit| limit.split_nth(shards, shard));
+            let mut engine = Engine::new(shard_config);
             for t in partitioned_tables {
                 engine.mark_remote_table(*t);
             }
@@ -726,6 +748,16 @@ impl ShardedEngine {
             engine.set_base_authority(move |key| {
                 auth_partition.home_of(key).0 as usize % shards == shard
             });
+            if let Err(e) = setup(shard, &mut engine) {
+                // Unwind the shards already spawned.
+                for tx in &senders {
+                    let _ = tx.send(ShardMsg::Shutdown);
+                }
+                for t in threads {
+                    let _ = t.join();
+                }
+                return Err(format!("shard setup failed: {e}"));
+            }
             let worker = ShardWorker {
                 shard,
                 engine,
@@ -746,7 +778,7 @@ impl ShardedEngine {
                     .expect("spawn shard worker"),
             );
         }
-        ShardedEngine {
+        Ok(ShardedEngine {
             handle: ShardedHandle {
                 senders: Arc::new(senders),
                 partition,
@@ -754,7 +786,7 @@ impl ShardedEngine {
             },
             stats,
             threads,
-        }
+        })
     }
 
     /// Number of shards.

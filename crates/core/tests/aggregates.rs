@@ -88,7 +88,7 @@ fn min_retraction_forces_recompute() {
     assert_eq!(val(&mut e, "lo|cpu").as_deref(), Some("25"));
     // Remove the current minimum: the range must recompute to 40.
     e.remove(&Key::from("reading|cpu|2"));
-    assert!(e.stats().complete_invalidations >= 1);
+    assert!(e.engine_stats().complete_invalidations >= 1);
     assert_eq!(val(&mut e, "lo|cpu").as_deref(), Some("40"));
     // Remove the last reading: group disappears after recompute.
     e.remove(&Key::from("reading|cpu|1"));
@@ -126,7 +126,7 @@ fn output_hints_speed_up_counts() {
             .get(&Key::from("karma|kat"))
             .map(|v| String::from_utf8_lossy(&v).into_owned())
             .unwrap();
-        (v, e.stats().hint_hits)
+        (v, e.engine_stats().hint_hits)
     };
     let (v_hint, hits_hint) = run(true);
     let (v_plain, hits_plain) = run(false);

@@ -29,9 +29,9 @@ fn pull_joins_compute_but_never_cache() {
     assert_eq!(e.materialized_ranges(), 0);
     assert_eq!(e.updater_entries(), 0);
     // Every read recomputes.
-    let execs = e.stats().join_execs;
+    let execs = e.engine_stats().join_execs;
     keys(&mut e, "t|ann|");
-    assert!(e.stats().join_execs > execs);
+    assert!(e.engine_stats().join_execs > execs);
     // And stays fresh without maintenance.
     e.put("p|bob|0000000120", "again");
     assert_eq!(keys(&mut e, "t|ann|").len(), 2);
@@ -134,9 +134,13 @@ fn full_materialization_precomputes_everything() {
     // Already materialized at install: the store holds the timeline
     // without any scan.
     assert!(e.store().peek(&Key::from("t|ann|0000000100|bob")).is_some());
-    let execs = e.stats().join_execs;
+    let execs = e.engine_stats().join_execs;
     assert_eq!(keys(&mut e, "t|ann|").len(), 1);
-    assert_eq!(e.stats().join_execs, execs, "no recomputation on read");
+    assert_eq!(
+        e.engine_stats().join_execs,
+        execs,
+        "no recomputation on read"
+    );
     // Subscriptions apply eagerly in full mode.
     e.put("p|liz|0000000090", "early");
     e.put("s|ann|liz", "1");
@@ -156,9 +160,9 @@ fn no_materialization_recomputes_every_scan() {
     assert_eq!(keys(&mut e, "t|ann|").len(), 1);
     assert!(e.store().peek(&Key::from("t|ann|0000000100|bob")).is_none());
     assert_eq!(e.materialized_ranges(), 0);
-    let execs = e.stats().join_execs;
+    let execs = e.engine_stats().join_execs;
     keys(&mut e, "t|ann|");
-    assert!(e.stats().join_execs > execs);
+    assert!(e.engine_stats().join_execs > execs);
 }
 
 #[test]
@@ -177,7 +181,7 @@ fn eager_checks_apply_at_write_time() {
     // timeline entry.
     e.put("s|ann|liz", "1");
     assert!(e.store().peek(&Key::from("t|ann|0000000090|liz")).is_some());
-    assert_eq!(e.stats().mods_logged, 0);
+    assert_eq!(e.engine_stats().mods_logged, 0);
 }
 
 #[test]
@@ -195,7 +199,7 @@ fn pending_log_overflow_falls_back_to_complete_invalidation() {
     for i in 0..10 {
         e.put(format!("s|ann|u{i:02}"), "1");
     }
-    assert!(e.stats().complete_invalidations >= 1);
+    assert!(e.engine_stats().complete_invalidations >= 1);
     // Still correct after recompute.
     for i in 0..10 {
         e.put(format!("p|u{i:02}|00000002{i:02}"), "x");
@@ -255,7 +259,7 @@ fn eviction_of_computed_range_recomputes_on_read() {
     // range) goes first.
     let evicted = e.evict_to(with_timeline / 2);
     assert!(evicted >= 1);
-    assert!(e.stats().js_evictions >= 1);
+    assert!(e.engine_stats().js_evictions >= 1);
     assert!(e.store().peek(&Key::from("t|ann|0000000100|bob")).is_none());
     // Next read recomputes the same answer.
     assert_eq!(keys(&mut e, "t|ann|").len(), 50);

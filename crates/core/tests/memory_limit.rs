@@ -36,13 +36,13 @@ fn watermarks_give_hysteresis() {
         assert_eq!(tl.pairs.len(), 30);
         assert!(e.memory_bytes() <= limit.high_bytes);
     }
-    assert!(e.stats().js_evictions > 0);
+    assert!(e.engine_stats().js_evictions > 0);
     // Eviction overshoots down to the low watermark, not just under the
     // cap — the next few writes must not re-trigger it each time.
-    let evictions_before = e.stats().js_evictions;
+    let evictions_before = e.engine_stats().js_evictions;
     e.put("p|bob|9999999999", "one more");
-    assert_eq!(e.stats().js_evictions, evictions_before);
-    assert!(e.stats().peak_memory_bytes > 0);
+    assert_eq!(e.engine_stats().js_evictions, evictions_before);
+    assert!(e.engine_stats().peak_memory_bytes > 0);
 }
 
 #[test]
@@ -63,12 +63,12 @@ fn set_mem_limit_suspends_and_restores() {
         e.scan(&KeyRange::prefix(format!("t|u{u:03}|")));
     }
     assert!(e.memory_bytes() > limit.high_bytes);
-    assert_eq!(e.stats().js_evictions, 0);
+    assert_eq!(e.engine_stats().js_evictions, 0);
     // Restoring re-arms maintenance at the next operation.
     e.set_mem_limit(saved);
     e.put("p|bob|9999999999", "trigger");
     assert!(e.memory_bytes() <= limit.high_bytes);
-    assert!(e.stats().js_evictions > 0);
+    assert!(e.engine_stats().js_evictions > 0);
 }
 
 #[test]
@@ -94,7 +94,7 @@ fn base_eviction_keeps_authoritative_rows() {
     );
     let evicted = e.evict_to(0);
     assert!(evicted >= 1);
-    assert!(e.stats().base_evictions >= 1);
+    assert!(e.engine_stats().base_evictions >= 1);
     // The sole copy survives; the replica is dropped.
     assert!(e.store().peek(&Key::from("p|bob|0000000100")).is_some());
     assert!(e.store().peek(&Key::from("p|liz|0000000200")).is_none());
@@ -122,7 +122,7 @@ fn fully_authoritative_table_is_never_evicted() {
     );
     let evicted = e.evict_to(0);
     assert_eq!(evicted, 0, "nothing reclaimable, nothing evicted");
-    assert_eq!(e.stats().base_evictions, 0);
+    assert_eq!(e.engine_stats().base_evictions, 0);
     assert!(e.store().peek(&Key::from("p|bob|0000000100")).is_some());
     // Residency survives too: the next read needs no re-proving.
     assert!(e.scan(&KeyRange::prefix("p|bob|")).is_complete());
@@ -159,4 +159,85 @@ fn memory_limit_split_shares_evenly() {
     let share = limit.split(4);
     assert_eq!(share.high_bytes, (1 << 20) / 4);
     assert_eq!(share.low_bytes, (1 << 19) / 4);
+}
+
+/// `split` hands every shard the floor share: with an uneven budget the
+/// node under-uses at most `n − 1` bytes but may never overshoot its
+/// cap.
+#[test]
+fn split_never_overshoots_an_uneven_budget() {
+    for cap in [1usize << 20, (1 << 20) + 1, (1 << 20) + 7, 1023, 97] {
+        for n in 1..=9usize {
+            let node = MemoryLimit::new(cap);
+            let share = node.split(n);
+            assert!(
+                share.high_bytes * n <= node.high_bytes,
+                "cap {cap} over {n} shards overshoots: {} * {n}",
+                share.high_bytes
+            );
+            assert!(
+                node.high_bytes - share.high_bytes * n < n,
+                "cap {cap} over {n} shards wastes a whole share"
+            );
+            assert!(share.low_bytes <= share.high_bytes);
+        }
+    }
+}
+
+/// `split_nth` distributes the remainder: shares sum to exactly the
+/// node budget, no shard overshoots, and the last shard is never
+/// starved more than one byte below its peers.
+#[test]
+fn split_nth_distributes_the_remainder_exactly() {
+    for cap in [1usize << 20, (1 << 20) + 1, (1 << 20) + 5, 1023, 101, 7] {
+        for n in 1..=8usize {
+            let node = MemoryLimit::new(cap);
+            let shares: Vec<MemoryLimit> = (0..n).map(|i| node.split_nth(n, i)).collect();
+            let high_sum: usize = shares.iter().map(|s| s.high_bytes).sum();
+            let low_sum: usize = shares.iter().map(|s| s.low_bytes).sum();
+            assert_eq!(high_sum, node.high_bytes, "cap {cap} over {n} shards");
+            assert_eq!(
+                low_sum, node.low_bytes,
+                "low {0} over {n} shards",
+                node.low_bytes
+            );
+            let floor = node.high_bytes / n;
+            for (i, s) in shares.iter().enumerate() {
+                assert!(
+                    s.high_bytes == floor || s.high_bytes == floor + 1,
+                    "cap {cap} over {n}: shard {i} got {}",
+                    s.high_bytes
+                );
+                assert!(
+                    s.low_bytes <= s.high_bytes,
+                    "cap {cap} over {n}: shard {i} watermarks inverted \
+                     ({} > {})",
+                    s.low_bytes,
+                    s.high_bytes
+                );
+            }
+            // Remainder goes to the front, so the last shard holds the
+            // floor share — starved by at most one byte, never zeroed
+            // out while its peers hold a budget.
+            assert_eq!(shares[n - 1].high_bytes, floor);
+        }
+    }
+}
+
+/// The adversarial corner: a budget smaller than the shard count. Every
+/// byte must still land somewhere, watermarks must stay ordered, and a
+/// front shard gets the data while the back shards legitimately get a
+/// zero budget (the node cap really is that tiny).
+#[test]
+fn split_nth_survives_budgets_smaller_than_the_shard_count() {
+    let node = MemoryLimit::with_watermarks(3, 2);
+    let shares: Vec<MemoryLimit> = (0..5).map(|i| node.split_nth(5, i)).collect();
+    assert_eq!(
+        shares.iter().map(|s| s.high_bytes).collect::<Vec<_>>(),
+        vec![1, 1, 1, 0, 0]
+    );
+    assert_eq!(shares.iter().map(|s| s.low_bytes).sum::<usize>(), 2);
+    for s in &shares {
+        assert!(s.low_bytes <= s.high_bytes);
+    }
 }

@@ -109,7 +109,7 @@ fn base_eviction_invalidates_dependents_and_refetches() {
     // Evict everything evictable.
     let evicted = e.evict_to(0);
     assert!(evicted >= 1);
-    assert!(e.stats().base_evictions >= 1);
+    assert!(e.engine_stats().base_evictions >= 1);
 
     // The timeline read now reports the post range missing again
     // (the dependent computed range was invalidated, not deleted).

@@ -68,7 +68,7 @@ fn posts_are_pushed_into_materialized_timelines() {
     follow(&mut e, "ann", "bob");
     post(&mut e, "bob", 100, "Hi");
     timeline(&mut e, "ann"); // materialize
-    let execs_before = e.stats().join_execs;
+    let execs_before = e.engine_stats().join_execs;
 
     post(&mut e, "bob", 120, "again");
     let tl = timeline(&mut e, "ann");
@@ -76,8 +76,8 @@ fn posts_are_pushed_into_materialized_timelines() {
     assert_eq!(tl[1].0, tkey("ann", 120, "bob"));
     // The second read required no fresh join execution: the updater
     // maintained the timeline eagerly.
-    assert_eq!(e.stats().join_execs, execs_before);
-    assert!(e.stats().eager_updates >= 1);
+    assert_eq!(e.engine_stats().join_execs, execs_before);
+    assert!(e.engine_stats().eager_updates >= 1);
 }
 
 #[test]
@@ -107,11 +107,11 @@ fn new_subscription_backfills_old_posts() {
     // ann follows liz after liz already posted: lazy check maintenance
     // must backfill liz's old post at the next read.
     follow(&mut e, "ann", "liz");
-    assert!(e.stats().mods_logged >= 1);
+    assert!(e.engine_stats().mods_logged >= 1);
     let tl = timeline(&mut e, "ann");
     assert_eq!(tl.len(), 2);
     assert_eq!(tl[0].0, tkey("ann", 90, "liz"));
-    assert!(e.stats().mods_applied >= 1);
+    assert!(e.engine_stats().mods_applied >= 1);
 }
 
 #[test]
@@ -190,14 +190,14 @@ fn incremental_check_after_login_is_cheap() {
     }
     // Login: full timeline scan.
     timeline(&mut e, "ann");
-    let execs = e.stats().join_execs;
+    let execs = e.engine_stats().join_execs;
     // Incremental timeline checks (the 85% case) hit the valid range.
     for _ in 0..10 {
         let r = KeyRange::new(format!("t|ann|{:010}", 115u64), Key::from("t|ann}"));
         e.scan(&r);
     }
     assert_eq!(
-        e.stats().join_execs,
+        e.engine_stats().join_execs,
         execs,
         "valid ranges must not re-execute"
     );

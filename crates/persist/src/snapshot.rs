@@ -1,0 +1,242 @@
+//! Snapshot files: one checksummed image of an engine's durable state
+//! (join texts + authoritative base pairs), written atomically.
+//!
+//! Layout:
+//!
+//! ```text
+//! "PQSNAP1\n" | body | u32-le crc32(body)
+//! body = u32-le join_count, joins (u32-le len + utf-8 text)...,
+//!        u64-le pair_count, pairs (u32-le klen, key, u32-le vlen, value)...
+//! ```
+//!
+//! A snapshot is written to `<path>.tmp`, fsynced, then renamed over
+//! `<path>` (and the directory fsynced), so a crash mid-write can never
+//! publish a half-snapshot: either the old generation's files are still
+//! authoritative or the new snapshot is complete. The trailing checksum
+//! guards against bit rot after publication.
+
+use crate::crc::crc32;
+use pequod_store::{Key, Value};
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Snapshot file magic (8 bytes, versioned).
+pub const SNAP_MAGIC: &[u8; 8] = b"PQSNAP1\n";
+
+/// The decoded contents of a snapshot.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SnapshotData {
+    /// Installed join texts, in installation order.
+    pub joins: Vec<String>,
+    /// Authoritative base pairs, in key order.
+    pub pairs: Vec<(Key, Value)>,
+}
+
+/// Why a snapshot file failed to load.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// The file is not a Pequod snapshot (bad magic) or its body is
+    /// malformed or fails its checksum.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::Corrupt(why) => write!(f, "snapshot corrupt: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+/// Serializes and atomically publishes a snapshot at `path`.
+pub fn write_snapshot(path: &Path, joins: &[String], pairs: &[(Key, Value)]) -> io::Result<()> {
+    let mut body = Vec::with_capacity(
+        64 + pairs
+            .iter()
+            .map(|(k, v)| k.len() + v.len() + 8)
+            .sum::<usize>(),
+    );
+    body.extend_from_slice(&(joins.len() as u32).to_le_bytes());
+    for j in joins {
+        put_bytes(&mut body, j.as_bytes());
+    }
+    body.extend_from_slice(&(pairs.len() as u64).to_le_bytes());
+    for (k, v) in pairs {
+        put_bytes(&mut body, k.as_bytes());
+        put_bytes(&mut body, v);
+    }
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(SNAP_MAGIC)?;
+        f.write_all(&body)?;
+        f.write_all(&crc32(&body).to_le_bytes())?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, path)?;
+    sync_dir(path.parent().unwrap_or_else(|| Path::new(".")))?;
+    Ok(())
+}
+
+/// fsyncs a directory so a just-renamed or just-created file's entry
+/// survives power loss (a no-op error is ignored on filesystems that
+/// reject directory fsync).
+pub fn sync_dir(dir: &Path) -> io::Result<()> {
+    match File::open(dir) {
+        Ok(d) => {
+            let _ = d.sync_all();
+            Ok(())
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Err(e),
+        Err(_) => Ok(()),
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.buf.len() < n {
+            return Err(SnapshotError::Corrupt("body ended early"));
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8], SnapshotError> {
+        let n = self.u32()? as usize;
+        if n > crate::record::MAX_RECORD {
+            return Err(SnapshotError::Corrupt("oversized field"));
+        }
+        self.take(n)
+    }
+}
+
+/// Loads and verifies a snapshot.
+pub fn read_snapshot(path: &Path) -> Result<SnapshotData, SnapshotError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < SNAP_MAGIC.len() + 4 || &bytes[..SNAP_MAGIC.len()] != SNAP_MAGIC {
+        return Err(SnapshotError::Corrupt("bad magic"));
+    }
+    let body = &bytes[SNAP_MAGIC.len()..bytes.len() - 4];
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+    if crc32(body) != stored {
+        return Err(SnapshotError::Corrupt("checksum mismatch"));
+    }
+    let mut r = Reader { buf: body };
+    let njoins = r.u32()? as usize;
+    let mut joins = Vec::with_capacity(njoins.min(1 << 10));
+    for _ in 0..njoins {
+        joins.push(
+            String::from_utf8(r.bytes()?.to_vec())
+                .map_err(|_| SnapshotError::Corrupt("join text not utf-8"))?,
+        );
+    }
+    let npairs = r.u64()? as usize;
+    let mut pairs = Vec::with_capacity(npairs.min(1 << 16));
+    for _ in 0..npairs {
+        let k = Key::from(r.bytes()?.to_vec());
+        let v = bytes::Bytes::copy_from_slice(r.bytes()?);
+        pairs.push((k, v));
+    }
+    if !r.buf.is_empty() {
+        return Err(SnapshotError::Corrupt("trailing bytes"));
+    }
+    Ok(SnapshotData { joins, pairs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let p =
+            std::env::temp_dir().join(format!("pequod-snap-{}-{name}.snap", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn sample() -> (Vec<String>, Vec<(Key, Value)>) {
+        (
+            vec!["t|<u>|<t:10>|<p> = check s|<u>|<p> copy p|<p>|<t:10>".to_string()],
+            vec![
+                (Key::from("p|bob|0000000100"), Bytes::from_static(b"Hi")),
+                (Key::from(vec![0u8, 0xff]), Bytes::from(vec![1u8, 2, 3])),
+                (Key::from("s|ann|bob"), Bytes::from_static(b"1")),
+            ],
+        )
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let path = tmp("roundtrip");
+        let (joins, pairs) = sample();
+        write_snapshot(&path, &joins, &pairs).unwrap();
+        let got = read_snapshot(&path).unwrap();
+        assert_eq!(got.joins, joins);
+        assert_eq!(got.pairs, pairs);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let path = tmp("empty");
+        write_snapshot(&path, &[], &[]).unwrap();
+        let got = read_snapshot(&path).unwrap();
+        assert!(got.joins.is_empty() && got.pairs.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let path = tmp("corrupt");
+        let (joins, pairs) = sample();
+        write_snapshot(&path, &joins, &pairs).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        for i in (0..clean.len()).step_by(7) {
+            let mut bad = clean.clone();
+            bad[i] ^= 0x20;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(
+                read_snapshot(&path).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+        // Truncation is equally fatal.
+        std::fs::write(&path, &clean[..clean.len() - 5]).unwrap();
+        assert!(read_snapshot(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -4,6 +4,8 @@
 //! pequod-server [--listen ADDR] [--join 'SPEC'] [--joins-file PATH]
 //!               [--subtable PREFIX:DEPTH] [--mem-limit-mb N]
 //!               [--shards N] [--shard-table PREFIX] [--shard-component C]
+//!               [--data-dir DIR] [--snapshot-every N]
+//!               [--fsync never|always|every:N]
 //! ```
 //!
 //! Speaks the length-prefixed binary protocol of `pequod-net`; use
@@ -22,10 +24,20 @@
 //! its estimated footprint under N MiB, transparently recomputing
 //! evicted data on the next read. With `--shards` the budget is split
 //! evenly across shards. See `docs/MEMORY.md`.
+//!
+//! `--data-dir DIR` serves **durably**: base writes are captured in a
+//! checksummed write-ahead log under DIR (per-shard subdirectories
+//! with `--shards`), snapshots compact the log every
+//! `--snapshot-every` records (default 65536), and a restart with the
+//! same DIR recovers the base tables and re-derives computed ranges on
+//! first read. `--fsync` picks the power-loss window (a plain process
+//! kill never loses acknowledged writes); see `docs/PERSISTENCE.md`.
 
 use pequod::core::partition::ComponentHashPartition;
 use pequod::core::{Client, Engine, EngineConfig, MemoryLimit, ShardedEngine};
+use pequod::persist::{FsyncPolicy, PersistOptions};
 use pequod::store::StoreConfig;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 fn main() {
@@ -36,6 +48,8 @@ fn main() {
     let mut shards: usize = 1;
     let mut shard_tables: Vec<String> = Vec::new();
     let mut shard_component: usize = 1;
+    let mut data_dir: Option<PathBuf> = None;
+    let mut persist_opts = PersistOptions::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -79,12 +93,32 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--shard-component needs a number");
             }
+            "--data-dir" => {
+                data_dir = Some(PathBuf::from(
+                    args.next().expect("--data-dir needs a directory"),
+                ));
+            }
+            "--snapshot-every" => {
+                let n: u64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--snapshot-every needs a positive record count");
+                assert!(n >= 1, "--snapshot-every needs a positive record count");
+                persist_opts.snapshot_every = Some(n);
+            }
+            "--fsync" => {
+                let policy = args.next().expect("--fsync needs never|always|every:N");
+                persist_opts.fsync = FsyncPolicy::parse(&policy)
+                    .unwrap_or_else(|| panic!("bad --fsync {policy:?} (never|always|every:N)"));
+            }
             "--help" | "-h" => {
                 println!(
                     "pequod-server [--listen ADDR] [--join 'SPEC']... \
                      [--joins-file PATH] [--subtable PREFIX:DEPTH]... \
                      [--mem-limit-mb N] \
-                     [--shards N] [--shard-table PREFIX]... [--shard-component C]"
+                     [--shards N] [--shard-table PREFIX]... [--shard-component C] \
+                     [--data-dir DIR] [--snapshot-every N] \
+                     [--fsync never|always|every:N]"
                 );
                 return;
             }
@@ -118,6 +152,16 @@ fn main() {
             }
         }
     };
+    if let Some(dir) = &data_dir {
+        eprintln!(
+            "durable serving: data dir {} (fsync {}, snapshot every {} records)",
+            dir.display(),
+            persist_opts.fsync,
+            persist_opts
+                .snapshot_every
+                .map_or("never".to_string(), |n| n.to_string()),
+        );
+    }
     let server = if shards > 1 {
         if shard_tables.is_empty() {
             shard_tables = vec!["p|".to_string(), "s|".to_string()];
@@ -127,7 +171,13 @@ fn main() {
             component: shard_component,
             servers: shards as u32,
         });
-        let mut sharded = ShardedEngine::new(shards, config, partition, &tables);
+        let mut sharded = match &data_dir {
+            Some(dir) => {
+                pequod::persist::open_sharded(shards, config, partition, &tables, dir, persist_opts)
+                    .unwrap_or_else(|e| panic!("cannot recover shards: {e}"))
+            }
+            None => ShardedEngine::new(shards, config, partition, &tables),
+        };
         install(&mut sharded);
         eprintln!(
             "serving {shards} shards (tables {shard_tables:?} hashed on component {shard_component})"
@@ -135,6 +185,25 @@ fn main() {
         pequod::net::TcpServer::spawn_sharded(&*listen, sharded)
     } else {
         let mut engine = Engine::new(config);
+        if let Some(dir) = &data_dir {
+            let report = pequod::persist::attach(&mut engine, dir, persist_opts)
+                .unwrap_or_else(|e| panic!("cannot recover {}: {e}", dir.display()));
+            eprintln!(
+                "recovered generation {}: {} joins, {} snapshot pairs + {} logged records \
+                 ({} torn bytes dropped)",
+                report.generation,
+                report.joins,
+                report.snapshot_pairs,
+                report.wal_records,
+                report.bytes_dropped,
+            );
+            if let Some(corruption) = &report.corruption {
+                eprintln!(
+                    "WARNING: log corruption (not a clean crash tail) — {corruption}; \
+                     the damaged log was preserved as wal-*.log.corrupt for salvage"
+                );
+            }
+        }
         install(&mut engine);
         pequod::net::TcpServer::spawn(&*listen, engine)
     }

@@ -18,6 +18,10 @@
 //!   subscriptions and the write-around deployment.
 //! * [`net`] — the distributed tier: wire codec, server nodes,
 //!   deterministic cluster simulator, TCP transport.
+//! * [`persist`] — durable base tables: checksummed write-ahead log,
+//!   snapshots with log truncation, warm restart
+//!   (`pequod-server --data-dir`); computed join ranges are never
+//!   persisted — recovery replays base writes and re-derives.
 //! * [`workloads`] — Twip and Newp applications and workload
 //!   generators.
 //! * [`baselines`] — the comparison systems of the paper's Figure 7.
@@ -70,6 +74,7 @@ pub use pequod_core as core;
 pub use pequod_db as db;
 pub use pequod_join as join;
 pub use pequod_net as net;
+pub use pequod_persist as persist;
 pub use pequod_store as store;
 pub use pequod_workloads as workloads;
 

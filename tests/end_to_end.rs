@@ -199,7 +199,10 @@ fn tcp_servers_serve_memory_bounded() {
     {
         let engine = capped.engine().expect("single-engine backend");
         let engine = engine.lock().unwrap();
-        assert!(engine.stats().js_evictions > 0, "cap never triggered");
+        assert!(
+            engine.engine_stats().js_evictions > 0,
+            "cap never triggered"
+        );
         assert!(engine.memory_bytes() <= limit.high_bytes);
     }
 

@@ -132,7 +132,7 @@ fn capped_engine_stays_under_cap_and_answers_identically() {
     let mut unbounded = Engine::new(EngineConfig::default());
     let want = drive(&mut unbounded, &graph, &w, None);
     let footprint = unbounded.memory_bytes();
-    assert_eq!(unbounded.stats().js_evictions, 0);
+    assert_eq!(unbounded.engine_stats().js_evictions, 0);
 
     // The acceptance bar: a cap at ~50% of the unbounded footprint.
     let limit = MemoryLimit::new(footprint / 2);
@@ -147,7 +147,7 @@ fn capped_engine_stays_under_cap_and_answers_identically() {
     for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
         assert_eq!(g, w, "read #{i} diverged between capped and unbounded");
     }
-    let stats = capped.stats();
+    let stats = capped.engine_stats();
     assert!(
         stats.js_evictions > 0,
         "a cap at half the footprint must evict computed ranges"
