@@ -22,6 +22,10 @@
 //! command stream — and the same workload driver — runs against Pequod
 //! deployments and every baseline alike.
 
+// No first-party unsafe: the whole system is safe Rust over the
+// vendored deps. `cargo xtask audit` additionally requires a SAFETY
+// comment on any future unsafe block an allow here would admit.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;

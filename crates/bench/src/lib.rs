@@ -38,6 +38,10 @@
 //! `src/bin/` and `benches/micro.rs` holds criterion microbenchmarks
 //! for the hot engine paths.
 
+// No first-party unsafe: the whole system is safe Rust over the
+// vendored deps. `cargo xtask audit` additionally requires a SAFETY
+// comment on any future unsafe block an allow here would admit.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use pequod_baselines::{MemcachedClient, MiniDbClient, RedisClient};

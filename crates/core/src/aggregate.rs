@@ -44,6 +44,8 @@ impl Accumulator {
             Operator::Sum => Accumulator::Sum(parse_num(v)),
             Operator::Min => Accumulator::Min(v.clone()),
             Operator::Max => Accumulator::Max(v.clone()),
+            // audit: allow(no-unwrap) — callers gate on is_aggregate();
+            // a copy/check operator here is a planner bug, not bad input.
             _ => panic!("not an aggregate operator: {op}"),
         }
     }

@@ -156,6 +156,9 @@ pub trait Client {
     fn get(&mut self, key: &Key) -> Option<Value> {
         match self.execute(Command::Get(key.clone())) {
             Response::Value(v) => v,
+            // audit: allow(no-unwrap) — a backend answering the wrong
+            // response variant is a protocol bug; the convenience wrappers
+            // are documented to abort rather than invent a default.
             other => panic!("get: unexpected response {other:?}"),
         }
     }
@@ -164,6 +167,9 @@ pub trait Client {
     fn scan(&mut self, range: &KeyRange) -> Vec<(Key, Value)> {
         match self.execute(Command::Scan(range.clone())) {
             Response::Pairs(p) => p,
+            // audit: allow(no-unwrap) — a backend answering the wrong
+            // response variant is a protocol bug; the convenience wrappers
+            // are documented to abort rather than invent a default.
             other => panic!("scan: unexpected response {other:?}"),
         }
     }
@@ -172,6 +178,9 @@ pub trait Client {
     fn count(&mut self, range: &KeyRange) -> u64 {
         match self.execute(Command::Count(range.clone())) {
             Response::Count(n) => n,
+            // audit: allow(no-unwrap) — a backend answering the wrong
+            // response variant is a protocol bug; the convenience wrappers
+            // are documented to abort rather than invent a default.
             other => panic!("count: unexpected response {other:?}"),
         }
     }
@@ -180,6 +189,9 @@ pub trait Client {
     fn put(&mut self, key: &Key, value: &Value) {
         match self.execute(Command::Put(key.clone(), value.clone())) {
             Response::Ok => {}
+            // audit: allow(no-unwrap) — a backend answering the wrong
+            // response variant is a protocol bug; the convenience wrappers
+            // are documented to abort rather than invent a default.
             other => panic!("put: unexpected response {other:?}"),
         }
     }
@@ -188,6 +200,9 @@ pub trait Client {
     fn remove(&mut self, key: &Key) {
         match self.execute(Command::Remove(key.clone())) {
             Response::Ok => {}
+            // audit: allow(no-unwrap) — a backend answering the wrong
+            // response variant is a protocol bug; the convenience wrappers
+            // are documented to abort rather than invent a default.
             other => panic!("remove: unexpected response {other:?}"),
         }
     }
@@ -197,6 +212,9 @@ pub trait Client {
         match self.execute(Command::AddJoin(text.to_string())) {
             Response::Ok => Ok(()),
             Response::Error(e) => Err(e),
+            // audit: allow(no-unwrap) — a backend answering the wrong
+            // response variant is a protocol bug; the convenience wrappers
+            // are documented to abort rather than invent a default.
             other => panic!("add_join: unexpected response {other:?}"),
         }
     }
@@ -205,6 +223,9 @@ pub trait Client {
     fn stats(&mut self) -> BackendStats {
         match self.execute(Command::Stats) {
             Response::Stats(s) => s,
+            // audit: allow(no-unwrap) — a backend answering the wrong
+            // response variant is a protocol bug; the convenience wrappers
+            // are documented to abort rather than invent a default.
             other => panic!("stats: unexpected response {other:?}"),
         }
     }

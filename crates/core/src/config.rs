@@ -141,6 +141,14 @@ pub struct EngineConfig {
     pub mem_limit: Option<MemoryLimit>,
     /// Table layout (subtable splits, §4.1).
     pub store: StoreConfig,
+    /// Deep invariant checking: after every public read or write the
+    /// engine cross-checks its O(1) counters and index structures
+    /// against full recomputation
+    /// ([`Engine::check_invariants`](crate::Engine::check_invariants))
+    /// and panics on the first disagreement. Defaults to on when built with the `paranoid`
+    /// feature (conformance and stress runs) and off otherwise;
+    /// `pequod-server --paranoid` turns it on at runtime.
+    pub paranoid: bool,
 }
 
 impl Default for EngineConfig {
@@ -153,6 +161,7 @@ impl Default for EngineConfig {
             pending_log_limit: 64,
             mem_limit: None,
             store: StoreConfig::flat(),
+            paranoid: cfg!(feature = "paranoid"),
         }
     }
 }

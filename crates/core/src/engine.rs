@@ -269,6 +269,18 @@ impl Engine {
     /// sink is taken out for the call so `durable_state` can borrow the
     /// engine.
     fn persist_op(&mut self, op: &DurableOp) {
+        if self.config.paranoid {
+            // Base-authority <-> durability: only base rows this engine
+            // is the authority for may reach the write-ahead log. A
+            // computed or replicated key here means a caller bypassed
+            // the is_durable_base gate and recovery would double-apply.
+            if let DurableOp::Put(k, _) | DurableOp::Remove(k) = op {
+                assert!(
+                    self.is_durable_base(k),
+                    "paranoid: computed or non-authoritative key {k:?} reached the WAL hook"
+                );
+            }
+        }
         let Some(mut durability) = self.durability.take() else {
             return;
         };
@@ -310,6 +322,7 @@ impl Engine {
         if self.durability.is_some() {
             self.persist_op(&DurableOp::AddJoin(text));
         }
+        self.paranoid_check();
         Ok(id)
     }
 
@@ -409,6 +422,31 @@ impl Engine {
             self.write(k, Some(v), false);
         }
         self.mark_resident(range);
+        self.paranoid_check();
+    }
+
+    /// True if this engine should hold `key`: it is the authority for
+    /// it, its table is purely local, or it lies inside a tracked
+    /// resident range. A replicated key outside every resident range
+    /// has been evicted and must be refetched, not re-cached piecemeal.
+    pub fn holds_key(&self, key: &Key) -> bool {
+        if self
+            .base_authority
+            .as_ref()
+            .is_some_and(|authority| authority(key))
+        {
+            return true;
+        }
+        match self.remote.get(&key.table_prefix()) {
+            Some(resident) => resident.contains(key),
+            None => true,
+        }
+    }
+
+    /// Every resident range of every remote-marked table (diagnostics
+    /// and the sharded invariant audit).
+    pub fn all_resident_ranges(&self) -> Vec<KeyRange> {
+        self.remote.values().flat_map(|rs| rs.iter()).collect()
     }
 
     /// The resident ranges of a remote table (diagnostics).
@@ -458,6 +496,7 @@ impl Engine {
             self.persist_op(&DurableOp::Put(key, value));
         }
         self.maintain_memory();
+        self.paranoid_check();
     }
 
     /// Removes a key, running incremental maintenance. Logged to the
@@ -468,6 +507,7 @@ impl Engine {
             self.persist_op(&DurableOp::Remove(key.clone()));
         }
         self.maintain_memory();
+        self.paranoid_check();
     }
 
     /// Applies a store modification and dispatches updaters.
@@ -539,7 +579,9 @@ impl Engine {
                     && self.config.materialization != MaterializationMode::Full;
                 if lazy {
                     let limit = self.config.pending_log_limit;
-                    let js = self.status[jidx].get_mut(entry.js).unwrap();
+                    let Some(js) = self.status[jidx].get_mut(entry.js) else {
+                        return;
+                    };
                     js.pending.push(m);
                     self.stats.mods_logged += 1;
                     if js.pending.len() > limit {
@@ -559,14 +601,17 @@ impl Engine {
                 }
                 match spec.output.expand(&slots) {
                     Some(out_key) => {
-                        let range = self.status[jidx].get(entry.js).unwrap().range();
+                        let Some(range) = self.status[jidx].get(entry.js).map(|js| js.range())
+                        else {
+                            return;
+                        };
                         if !range.contains(&out_key) {
                             return;
                         }
                         self.stats.eager_updates += 1;
                         match kind {
                             WriteKind::Insert | WriteKind::Update => {
-                                let v = new.unwrap().clone();
+                                let Some(v) = new.cloned() else { return };
                                 let (v, shared) = if self.config.value_sharing {
                                     (v, true)
                                 } else {
@@ -625,17 +670,23 @@ impl Engine {
             self.complete_invalidate(jidx, entry.js);
             return;
         };
-        let range = self.status[jidx].get(entry.js).unwrap().range();
+        let Some(range) = self.status[jidx].get(entry.js).map(|js| js.range()) else {
+            return;
+        };
         if !range.contains(&out_key) {
             return;
         }
+        // `WriteKind` guarantees the sides an op needs (Insert has a new
+        // value, Remove an old one); an absent side contributes 0.
+        let old_n = old.map(|v| parse_num(v)).unwrap_or(0);
+        let new_n = new.map(|v| parse_num(v)).unwrap_or(0);
         let delta = match (op, kind) {
             (Operator::Count, WriteKind::Insert) => 1,
             (Operator::Count, WriteKind::Remove) => -1,
             (Operator::Count, WriteKind::Update) => 0,
-            (Operator::Sum, WriteKind::Insert) => parse_num(new.unwrap()),
-            (Operator::Sum, WriteKind::Remove) => -parse_num(old.unwrap()),
-            (Operator::Sum, WriteKind::Update) => parse_num(new.unwrap()) - parse_num(old.unwrap()),
+            (Operator::Sum, WriteKind::Insert) => new_n,
+            (Operator::Sum, WriteKind::Remove) => -old_n,
+            (Operator::Sum, WriteKind::Update) => new_n - old_n,
             _ => unreachable!(),
         };
         if delta == 0 {
@@ -701,7 +752,9 @@ impl Engine {
             self.complete_invalidate(jidx, entry.js);
             return;
         };
-        let range = self.status[jidx].get(entry.js).unwrap().range();
+        let Some(range) = self.status[jidx].get(entry.js).map(|js| js.range()) else {
+            return;
+        };
         if !range.contains(&out_key) {
             return;
         }
@@ -715,17 +768,21 @@ impl Engine {
         let cur = self.store.peek(&out_key).cloned();
         self.stats.eager_updates += 1;
         match kind {
-            WriteKind::Insert => match &cur {
-                None => self.write(out_key, Some(new.unwrap().clone()), false),
-                Some(c) => {
-                    if better(new.unwrap(), c) {
-                        self.write(out_key, Some(new.unwrap().clone()), false);
+            WriteKind::Insert => {
+                let Some(n) = new else { return };
+                match &cur {
+                    None => self.write(out_key, Some(n.clone()), false),
+                    Some(c) => {
+                        if better(n, c) {
+                            self.write(out_key, Some(n.clone()), false);
+                        }
                     }
                 }
-            },
+            }
             WriteKind::Update => {
-                let o = old.unwrap();
-                let n = new.unwrap();
+                let (Some(o), Some(n)) = (old, new) else {
+                    return;
+                };
                 match &cur {
                     None => self.write(out_key, Some(n.clone()), false),
                     Some(c) => {

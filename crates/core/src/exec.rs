@@ -90,6 +90,7 @@ impl Engine {
         // the high watermark right here, but the response must never
         // observe a half-evicted store.
         self.maintain_memory();
+        self.paranoid_check();
         ScanResult { pairs, missing }
     }
 
@@ -168,6 +169,7 @@ impl Engine {
             }
         };
         self.maintain_memory();
+        self.paranoid_check();
         CountResult { count, missing }
     }
 
@@ -238,7 +240,10 @@ impl Engine {
             }
             JsState::Valid => {
                 // Apply the pending log (lazy maintenance, §3.2).
-                let pending = std::mem::take(&mut self.status[jidx].get_mut(jsid).unwrap().pending);
+                let pending = match self.status[jidx].get_mut(jsid) {
+                    Some(js) => std::mem::take(&mut js.pending),
+                    None => return,
+                };
                 for m in pending {
                     self.stats.mods_applied += 1;
                     self.apply_logged_mod(jidx, jsid, &m);
@@ -310,9 +315,10 @@ impl Engine {
                     hint: None,
                 },
             );
-            let js = self.status[jidx].get_mut(jsid).unwrap();
-            if !js.updaters.contains(&node) {
-                js.updaters.push(node);
+            if let Some(js) = self.status[jidx].get_mut(jsid) {
+                if !js.updaters.contains(&node) {
+                    js.updaters.push(node);
+                }
             }
         }
         self.stats.ranges_materialized += 1;

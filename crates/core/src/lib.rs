@@ -57,6 +57,10 @@
 //!   into: every acknowledged durable base write (never computed
 //!   ranges, never replicas) reaches an installed [`Durability`] sink.
 
+// No first-party unsafe: the whole system is safe Rust over the
+// vendored deps. `cargo xtask audit` additionally requires a SAFETY
+// comment on any future unsafe block an allow here would admit.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aggregate;
@@ -65,6 +69,7 @@ pub mod config;
 pub mod durable;
 mod engine;
 mod exec;
+mod paranoid;
 pub mod partition;
 pub mod sharded;
 pub mod status;

@@ -1,0 +1,332 @@
+//! Deep invariant checking.
+//!
+//! The engine maintains every byte- and pair-counter incrementally and
+//! keeps four structures pointing at each other: the store, the
+//! per-join status maps, the updater interval index, and the LRU
+//! tracker. A bug in any one maintenance path corrupts state silently
+//! and surfaces much later as a wrong answer or a leak. This module is
+//! the other half of the repo's correctness tooling (see
+//! `docs/CORRECTNESS.md` and `cargo xtask audit`): a full
+//! cross-recomputation of everything the hot paths keep in O(1).
+//!
+//! [`Engine::check_invariants`] is always compiled — tests call it
+//! directly, and mutation tests prove it reports precisely when a
+//! structure is corrupted. The automatic after-every-operation hook
+//! ([`Engine::paranoid_check`]) is gated on
+//! [`EngineConfig::paranoid`](crate::EngineConfig), which defaults to
+//! on under `--features paranoid` and can be enabled at runtime with
+//! `pequod-server --paranoid`.
+//!
+//! The checks:
+//!
+//! 1. **Store bookkeeping** — pair counts, key/value byte counters,
+//!    and the subtable index agree with a full walk
+//!    ([`Store::audit`](pequod_store::Store::audit)).
+//! 2. **LRU agreement** — the tracker's ordering and index maps agree
+//!    ([`LruTracker::audit`](pequod_store::LruTracker::audit)), every
+//!    tracked unit refers to live state, and every materialized join
+//!    range is tracked (else it could never be evicted). Base units
+//!    are forward-only: eviction may skip an all-authoritative table,
+//!    leaving it untracked until the next read re-registers it.
+//! 3. **Status map indexes** — id index and range disjointness
+//!    ([`StatusMap::audit`](crate::status::StatusMap::audit)).
+//! 4. **Updater index counters** — entry/node/per-table counts vs a
+//!    tree walk ([`UpdaterIndex::audit`](crate::updater::UpdaterIndex::audit)).
+//! 5. **Subscription symmetry** — every updater entry points at a
+//!    live *valid* range that lists its node (else teardown would leak
+//!    the entry), and invalidated ranges hold no updaters and no
+//!    pending log. The reverse direction is intentionally weaker: the
+//!    node list may be a superset, because entry removal is lazy.
+//! 6. **Remote residency / home-shard routing** — every cached row of
+//!    a remote-marked table that this engine is not the authority for
+//!    lies inside a tracked resident range (untracked cached rows
+//!    would never be refreshed or evicted).
+//!
+//! The base-authority ↔ durability invariant (no computed or
+//! non-authoritative key reaches the write-ahead log) is checked at
+//! the WAL hook itself (`Engine::persist_op`), where the offending key
+//! is in hand.
+
+use crate::engine::{Engine, EvictUnit};
+use crate::status::JsState;
+use crate::types::JsId;
+use pequod_store::{IntervalId, KeyRange};
+use std::collections::HashMap;
+
+impl Engine {
+    /// Exhaustively cross-checks the engine's internal structures and
+    /// O(1) counters against full recomputation. Returns one message
+    /// per violation; an empty vector means the engine is consistent.
+    ///
+    /// Cost is a full walk of every structure — use it in tests, in
+    /// paranoid runs, and when debugging, not on a serving hot path.
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        v.extend(
+            self.store
+                .audit()
+                .into_iter()
+                .map(|m| format!("store: {m}")),
+        );
+        v.extend(self.lru.audit().into_iter().map(|m| format!("lru: {m}")));
+        for (jidx, smap) in self.status.iter().enumerate() {
+            v.extend(
+                smap.audit()
+                    .into_iter()
+                    .map(|m| format!("join {jidx} status: {m}")),
+            );
+        }
+        v.extend(
+            self.updaters
+                .audit()
+                .into_iter()
+                .map(|m| format!("updaters: {m}")),
+        );
+        self.check_lru_residency(&mut v);
+        self.check_updater_symmetry(&mut v);
+        self.check_remote_residency(&mut v);
+        v
+    }
+
+    /// Runs [`Engine::check_invariants`] and panics with the full
+    /// violation list when [`EngineConfig::paranoid`]
+    /// (crate::EngineConfig) is set; a no-op otherwise. Called at the
+    /// end of every public read and write.
+    pub(crate) fn paranoid_check(&self) {
+        if !self.config.paranoid {
+            return;
+        }
+        let violations = self.check_invariants();
+        assert!(
+            violations.is_empty(),
+            "paranoid invariant check failed:\n  {}",
+            violations.join("\n  ")
+        );
+    }
+
+    /// LRU ↔ residency agreement (check 2 above).
+    fn check_lru_residency(&self, v: &mut Vec<String>) {
+        for unit in self.lru.iter() {
+            match unit {
+                EvictUnit::Js(jidx, jsid) => {
+                    let live = self
+                        .status
+                        .get(*jidx as usize)
+                        .is_some_and(|smap| smap.get(*jsid).is_some());
+                    if !live {
+                        v.push(format!(
+                            "lru: tracks join range {jidx}/{jsid:?} that no status map holds"
+                        ));
+                    }
+                }
+                EvictUnit::Base(prefix) => {
+                    if !self.remote.contains_key(prefix) {
+                        v.push(format!(
+                            "lru: tracks base unit {prefix:?} but the table is not marked remote"
+                        ));
+                    }
+                }
+            }
+        }
+        for (jidx, smap) in self.status.iter().enumerate() {
+            for js in smap.iter() {
+                if !self.lru.contains(&EvictUnit::Js(jidx as u32, js.id)) {
+                    v.push(format!(
+                        "lru: materialized range {jidx}/{:?} is untracked and could never be evicted",
+                        js.id
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Join subscription symmetry (check 5 above).
+    fn check_updater_symmetry(&self, v: &mut Vec<String>) {
+        // One walk of the interval index: node id -> (join, js) refs.
+        let mut node_refs: HashMap<IntervalId, Vec<(usize, JsId)>> = HashMap::new();
+        self.updaters.for_each(|id, _range, e| {
+            node_refs
+                .entry(id)
+                .or_default()
+                .push((e.join.0 as usize, e.js));
+        });
+        for (node, refs) in &node_refs {
+            for (jidx, jsid) in refs {
+                let Some(js) = self.status.get(*jidx).and_then(|s| s.get(*jsid)) else {
+                    v.push(format!(
+                        "updaters: node {node:?} maintains join range {jidx}/{jsid:?}, \
+                         which does not exist"
+                    ));
+                    continue;
+                };
+                if js.state != JsState::Valid {
+                    v.push(format!(
+                        "updaters: node {node:?} maintains join range {jidx}/{jsid:?}, \
+                         which is {:?}",
+                        js.state
+                    ));
+                }
+                if !js.updaters.contains(node) {
+                    v.push(format!(
+                        "updaters: node {node:?} maintains join range {jidx}/{jsid:?}, \
+                         but the range does not list it (teardown would leak the node)"
+                    ));
+                }
+            }
+        }
+        for (jidx, smap) in self.status.iter().enumerate() {
+            for js in smap.iter() {
+                if js.state == JsState::Invalid {
+                    if !js.updaters.is_empty() {
+                        v.push(format!(
+                            "join {jidx} status: invalidated range {:?} still lists {} \
+                             updater node(s)",
+                            js.id,
+                            js.updaters.len()
+                        ));
+                    }
+                    if !js.pending.is_empty() {
+                        v.push(format!(
+                            "join {jidx} status: invalidated range {:?} still holds {} \
+                             pending logged modification(s)",
+                            js.id,
+                            js.pending.len()
+                        ));
+                    }
+                    continue;
+                }
+                // The reverse direction is deliberately not checked:
+                // `js.updaters` is a teardown hint, not an ownership
+                // record. Entry removal is lazy (`apply_logged_mod`
+                // drops entries beneath a removed check tuple, and
+                // `dispatch` drops entries of torn-down ranges) and
+                // never prunes the node list, so a valid range may
+                // list nodes that no longer hold a matching entry —
+                // teardown's `remove_for_js` on such a node is a no-op.
+            }
+        }
+    }
+
+    /// Remote-table residency / home-shard routing (check 6 above).
+    fn check_remote_residency(&self, v: &mut Vec<String>) {
+        for (prefix, resident) in &self.remote {
+            let table_range = KeyRange::prefix(prefix.clone());
+            for (tprefix, table) in self.store.tables() {
+                if !table_range.contains(tprefix) {
+                    continue;
+                }
+                table.for_each(|k, _| {
+                    let ours = self.base_authority.as_ref().is_some_and(|auth| auth(k));
+                    if !ours && !resident.contains(k) {
+                        v.push(format!(
+                            "remote: cached row {k:?} of table {prefix:?} is outside every \
+                             resident range (it would never be refreshed or evicted)"
+                        ));
+                    }
+                });
+            }
+        }
+    }
+}
+
+/// Mutation tests: corrupt each structure the checker covers and assert
+/// the corruption is reported — precisely, without drowning it in
+/// unrelated noise. A checker that never fires is indistinguishable
+/// from no checker at all.
+#[cfg(test)]
+mod tests {
+    use crate::config::EngineConfig;
+    use crate::engine::{Engine, EvictUnit};
+    use pequod_store::KeyRange;
+
+    const TIMELINE: &str =
+        "t|<user>|<time:10>|<poster> = check s|<user>|<poster> copy p|<poster>|<time:10>";
+
+    /// An engine with one materialized timeline range, verified
+    /// consistent before any test mutates it.
+    fn materialized_engine() -> Engine {
+        let mut e = Engine::new(EngineConfig::default());
+        e.add_join_text(TIMELINE).unwrap();
+        e.put("s|ann|bob", "1");
+        e.put("p|bob|0000000100", "hello");
+        let got = e.scan(&KeyRange::prefix("t|ann|"));
+        assert_eq!(got.pairs.len(), 1, "timeline should materialize one row");
+        assert!(
+            e.check_invariants().is_empty(),
+            "a freshly materialized engine must pass the checker"
+        );
+        e
+    }
+
+    #[test]
+    fn desynced_lru_index_is_reported() {
+        let mut e = materialized_engine();
+        let unit = e.lru.iter().next().cloned().expect("lru tracks the range");
+        e.lru.debug_desync(&unit);
+        let v = e.check_invariants();
+        assert!(
+            v.iter().any(|m| m.starts_with("lru:")),
+            "internal lru desync must surface as an lru violation: {v:?}"
+        );
+    }
+
+    #[test]
+    fn untracked_materialized_range_is_reported() {
+        let mut e = materialized_engine();
+        let unit = e
+            .lru
+            .iter()
+            .find(|u| matches!(u, EvictUnit::Js(..)))
+            .cloned()
+            .expect("a materialized range is lru-tracked");
+        e.lru.remove(&unit);
+        let v = e.check_invariants();
+        assert_eq!(v.len(), 1, "exactly one violation expected: {v:?}");
+        assert!(
+            v[0].contains("untracked and could never be evicted"),
+            "unexpected message: {}",
+            v[0]
+        );
+    }
+
+    #[test]
+    fn skewed_store_counter_is_reported() {
+        let mut e = materialized_engine();
+        e.store.debug_skew_keys(1);
+        let v = e.check_invariants();
+        assert_eq!(v.len(), 1, "exactly one violation expected: {v:?}");
+        assert!(
+            v[0].starts_with("store:") && v[0].contains("key counter"),
+            "unexpected message: {}",
+            v[0]
+        );
+    }
+
+    #[test]
+    fn dropped_status_side_of_subscription_is_reported() {
+        let mut e = materialized_engine();
+        let id = e.status[0].iter().next().expect("one range").id;
+        e.status[0].remove(id);
+        let v = e.check_invariants();
+        assert!(
+            v.iter().any(|m| m.contains("which does not exist")),
+            "orphaned updater entries must be reported: {v:?}"
+        );
+    }
+
+    #[test]
+    fn unlisted_updater_node_is_reported() {
+        let mut e = materialized_engine();
+        let id = e.status[0].iter().next().expect("one range").id;
+        e.status[0]
+            .get_mut(id)
+            .expect("range is live")
+            .updaters
+            .clear();
+        let v = e.check_invariants();
+        assert!(
+            !v.is_empty() && v.iter().all(|m| m.contains("does not list it")),
+            "every index entry must now report the missing back-reference: {v:?}"
+        );
+    }
+}

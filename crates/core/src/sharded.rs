@@ -99,8 +99,23 @@ enum ShardMsg {
     },
     /// An update to a range this shard subscribed to (Notify).
     Notify { key: Key, value: Option<Value> },
+    /// Paranoid audit: run the deep invariant checker on this shard's
+    /// engine and report the shard's subscription state for the
+    /// cross-shard symmetry check ([`ShardedEngine::check_invariants`]).
+    CheckInvariants { reply: Sender<ShardAudit> },
     /// Stop the worker thread.
     Shutdown,
+}
+
+/// One shard's contribution to [`ShardedEngine::check_invariants`].
+struct ShardAudit {
+    shard: usize,
+    /// Violations from this shard's `Engine::check_invariants`.
+    violations: Vec<String>,
+    /// Ranges this shard serves to each peer (outgoing replication).
+    serving: Vec<(KeyRange, usize)>,
+    /// Resident replicated ranges on this shard (incoming).
+    resident: Vec<KeyRange>,
 }
 
 /// Per-shard counters, readable while the shard runs.
@@ -207,17 +222,46 @@ impl ShardWorker {
                     group.outstanding.remove(&id);
                     group.pairs.extend(pairs);
                     if group.outstanding.is_empty() {
-                        let group = self.fetch_groups.remove(&gid).expect("group exists");
-                        self.engine.install_base(&group.range, group.pairs);
-                        self.resume_parked(gid);
+                        if let Some(group) = self.fetch_groups.remove(&gid) {
+                            self.engine.install_base(&group.range, group.pairs);
+                            self.resume_parked(gid);
+                        }
                     }
                 }
                 ShardMsg::Notify { key, value } => {
+                    // A notify for a range this shard has evicted is
+                    // dropped: applying it would recreate untracked
+                    // replica rows. The next read refetches the range.
+                    if !self.engine.holds_key(&key) {
+                        continue;
+                    }
                     self.stats.notifies_applied.fetch_add(1, Ordering::Relaxed);
                     match value {
                         Some(v) => self.engine.put(key, v),
                         None => self.engine.remove(&key),
                     }
+                }
+                ShardMsg::CheckInvariants { reply } => {
+                    // Report replica ranges only: a range this shard
+                    // homes (home writes mark their key resident) is
+                    // authoritative data, not a replica, and needs no
+                    // peer serving updates to it.
+                    let resident = self
+                        .engine
+                        .all_resident_ranges()
+                        .into_iter()
+                        .filter(|r| {
+                            self.partition
+                                .home_of_range(r)
+                                .is_none_or(|s| s.0 as usize % self.peers.len() != self.shard)
+                        })
+                        .collect();
+                    let _ = reply.send(ShardAudit {
+                        shard: self.shard,
+                        violations: self.engine.check_invariants(),
+                        serving: self.subscribers.clone(),
+                        resident,
+                    });
                 }
                 ShardMsg::Shutdown => break,
             }
@@ -514,8 +558,14 @@ impl ShardedHandle {
         // Fast path: a run of exactly one shard-addressed command (the
         // common shape — every workload check or post is one command)
         // skips the routing tables below.
-        if commands.len() == 1 && !matches!(commands[0], Command::AddJoin(_) | Command::Stats) {
-            let command = commands.pop().expect("len checked");
+        let single = if commands.len() == 1
+            && !matches!(commands[0], Command::AddJoin(_) | Command::Stats)
+        {
+            commands.pop()
+        } else {
+            None
+        };
+        if let Some(command) = single {
             let id = self.fresh_id();
             let shard = match &command {
                 Command::Get(key) | Command::Put(key, _) | Command::Remove(key) => {
@@ -700,6 +750,7 @@ impl ShardedEngine {
     /// // bob's shard, fetched and kept fresh by subscription.
     /// assert_eq!(sharded.count(&KeyRange::prefix("t|ann|")), 1);
     /// ```
+    #[allow(clippy::expect_used)] // see the audit allow below
     pub fn new(
         shards: usize,
         config: EngineConfig,
@@ -707,6 +758,8 @@ impl ShardedEngine {
         partitioned_tables: &[&str],
     ) -> ShardedEngine {
         ShardedEngine::new_with_setup(shards, config, partition, partitioned_tables, |_, _| Ok(()))
+            // audit: allow(no-unwrap) — the closure is `|_, _| Ok(())`, and
+            // setup errors are the only failure `new_with_setup` reports.
             .expect("no-op shard setup cannot fail")
     }
 
@@ -771,12 +824,22 @@ impl ShardedEngine {
                 next_fetch_id: 1,
                 stats: stats[shard].clone(),
             };
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("pequod-shard-{shard}"))
-                    .spawn(move || worker.run())
-                    .expect("spawn shard worker"),
-            );
+            match std::thread::Builder::new()
+                .name(format!("pequod-shard-{shard}"))
+                .spawn(move || worker.run())
+            {
+                Ok(t) => threads.push(t),
+                Err(e) => {
+                    // Unwind the shards already spawned, as for a setup error.
+                    for tx in &senders {
+                        let _ = tx.send(ShardMsg::Shutdown);
+                    }
+                    for t in threads {
+                        let _ = t.join();
+                    }
+                    return Err(format!("failed to spawn shard worker: {e}"));
+                }
+            }
         }
         Ok(ShardedEngine {
             handle: ShardedHandle {
@@ -792,6 +855,54 @@ impl ShardedEngine {
     /// Number of shards.
     pub fn shards(&self) -> usize {
         self.handle.senders.len()
+    }
+
+    /// Runs the deep invariant checker ([`Engine::check_invariants`])
+    /// on every shard's engine and cross-checks shard-to-shard
+    /// subscription symmetry: every resident replicated range on a
+    /// shard must be covered by ranges its peers record as served to
+    /// it (the reverse — serving a range a peer has since evicted — is
+    /// legal, the peer just drops the notifies). Returns one message
+    /// per violation; empty means the whole deployment is consistent.
+    pub fn check_invariants(&mut self) -> Vec<String> {
+        let (tx, rx) = channel();
+        for s in self.handle.senders.iter() {
+            let _ = s.send(ShardMsg::CheckInvariants { reply: tx.clone() });
+        }
+        drop(tx);
+        let mut audits: Vec<ShardAudit> = rx.iter().collect();
+        audits.sort_by_key(|a| a.shard);
+        let mut v = Vec::new();
+        for a in &audits {
+            v.extend(
+                a.violations
+                    .iter()
+                    .map(|m| format!("shard {}: {m}", a.shard)),
+            );
+        }
+        for b in &audits {
+            let mut served_to_b = RangeSet::new();
+            for a in &audits {
+                if a.shard == b.shard {
+                    continue;
+                }
+                for (range, peer) in &a.serving {
+                    if *peer == b.shard {
+                        served_to_b.add(range);
+                    }
+                }
+            }
+            for r in &b.resident {
+                if !served_to_b.covers(r) {
+                    v.push(format!(
+                        "shard {}: resident replicated range {r:?} is not served by \
+                         any peer (updates to it would never arrive)",
+                        b.shard
+                    ));
+                }
+            }
+        }
+        v
     }
 
     /// A new independent client handle; handles are cheap to clone and

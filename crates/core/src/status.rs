@@ -199,7 +199,7 @@ impl StatusMap {
         let mut out = Vec::new();
         let mut cursor = clip.first.clone();
         for id in self.overlapping(clip) {
-            let js = self.get(id).expect("overlapping returned live id");
+            let Some(js) = self.get(id) else { continue };
             if js.first > cursor {
                 out.push(Segment::Gap(KeyRange {
                     first: cursor.clone(),
@@ -225,6 +225,51 @@ impl StatusMap {
     /// Iterates all ranges in key order.
     pub fn iter(&self) -> impl Iterator<Item = &JsRange> {
         self.ranges.values()
+    }
+
+    /// Exhaustive consistency check of the map's internal indexes, used
+    /// by the paranoid invariant checker (`Engine::check_invariants`).
+    /// Returns one message per problem; empty means consistent.
+    pub fn audit(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.by_id.len() != self.ranges.len() {
+            problems.push(format!(
+                "status id-index has {} entries but {} ranges exist",
+                self.by_id.len(),
+                self.ranges.len()
+            ));
+        }
+        let mut prev: Option<&JsRange> = None;
+        for (first, js) in &self.ranges {
+            if &js.first != first {
+                problems.push(format!(
+                    "status range keyed at {first:?} records first = {:?}",
+                    js.first
+                ));
+            }
+            if js.range().is_empty() {
+                problems.push(format!("status range {:?} is empty", js.id));
+            }
+            match self.by_id.get(&js.id) {
+                Some(k) if k == first => {}
+                Some(k) => problems.push(format!(
+                    "status id {:?} maps to {k:?}, not its range start {first:?}",
+                    js.id
+                )),
+                None => problems.push(format!("status id {:?} missing from id-index", js.id)),
+            }
+            if let Some(p) = prev {
+                if p.end.admits(&js.first) {
+                    problems.push(format!(
+                        "status ranges overlap: {:?} and {:?}",
+                        p.range(),
+                        js.range()
+                    ));
+                }
+            }
+            prev = Some(js);
+        }
+        problems
     }
 }
 

@@ -88,25 +88,29 @@ impl UpdaterIndex {
     pub fn install(&mut self, range: KeyRange, entry: UpdaterEntry) -> IntervalId {
         let rk = Self::range_key(&range);
         if let Some(&id) = self.by_range.get(&rk) {
-            let list = self
-                .tree
-                .get_mut(id)
-                .expect("coalescing map points at live node");
-            if !list.contains(&entry) {
-                list.push(entry);
-                self.entries += 1;
+            match self.tree.get_mut(id) {
+                Some(list) => {
+                    if !list.contains(&entry) {
+                        list.push(entry);
+                        self.entries += 1;
+                    }
+                    return id;
+                }
+                // A stale coalescing entry pointing at a dropped node:
+                // heal it and fall through to a fresh insert.
+                None => {
+                    self.by_range.remove(&rk);
+                }
             }
-            id
-        } else {
-            *self
-                .per_table
-                .entry(range.first.table_prefix())
-                .or_insert(0) += 1;
-            let id = self.tree.insert(range, vec![entry]);
-            self.by_range.insert(rk, id);
-            self.entries += 1;
-            id
         }
+        *self
+            .per_table
+            .entry(range.first.table_prefix())
+            .or_insert(0) += 1;
+        let id = self.tree.insert(range, vec![entry]);
+        self.by_range.insert(rk, id);
+        self.entries += 1;
+        id
     }
 
     /// True if no updater watches any range of `key`'s table. Ranges are
@@ -205,6 +209,64 @@ impl UpdaterIndex {
     pub fn approx_bytes(&self) -> usize {
         // tree node + range keys + per-entry context
         self.node_count() * 96 + self.entry_count() * 64
+    }
+
+    /// Exhaustive consistency check of the index's O(1) counters and
+    /// coalescing/per-table maps against a full walk of the tree, used
+    /// by the paranoid invariant checker (`Engine::check_invariants`).
+    /// Returns one message per problem; empty means consistent.
+    pub fn audit(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut entries = 0usize;
+        let mut nodes = 0usize;
+        let mut per_table: HashMap<Key, usize> = HashMap::new();
+        self.tree.for_each(|id, range, list| {
+            nodes += 1;
+            entries += list.len();
+            if list.is_empty() {
+                problems.push(format!(
+                    "updater node {id:?} ({range:?}) is empty but was not dropped"
+                ));
+            }
+            *per_table.entry(range.first.table_prefix()).or_insert(0) += 1;
+            match self.by_range.get(&Self::range_key(range)) {
+                Some(&mapped) if mapped == id => {}
+                Some(&mapped) => problems.push(format!(
+                    "coalescing map points {range:?} at {mapped:?}, not its node {id:?}"
+                )),
+                None => problems.push(format!(
+                    "updater node {id:?} ({range:?}) missing from coalescing map"
+                )),
+            }
+        });
+        if entries != self.entries {
+            problems.push(format!(
+                "updater entry counter is {} but the tree holds {entries}",
+                self.entries
+            ));
+        }
+        if self.by_range.len() != nodes {
+            problems.push(format!(
+                "coalescing map has {} ranges but the tree holds {nodes} nodes",
+                self.by_range.len()
+            ));
+        }
+        for (table, &n) in &self.per_table {
+            let actual = per_table.get(table).copied().unwrap_or(0);
+            if actual != n {
+                problems.push(format!(
+                    "per-table counter for {table:?} is {n} but {actual} node(s) exist"
+                ));
+            }
+        }
+        for (table, &n) in &per_table {
+            if n > 0 && !self.per_table.contains_key(table) {
+                problems.push(format!(
+                    "table {table:?} has {n} updater node(s) but no per-table counter"
+                ));
+            }
+        }
+        problems
     }
 }
 

@@ -13,6 +13,10 @@
 //! database, reads go to the cache, and the cache lazily loads and
 //! subscribes to the ranges it needs (§3.3).
 
+// No first-party unsafe: the whole system is safe Rust over the
+// vendored deps. `cargo xtask audit` additionally requires a SAFETY
+// comment on any future unsafe block an allow here would admit.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use pequod_core::{Client, Command, Engine, Response, ScanResult};

@@ -21,6 +21,10 @@
 //!
 //! Query execution and incremental maintenance live in `pequod-core`.
 
+// No first-party unsafe: the whole system is safe Rust over the
+// vendored deps. `cargo xtask audit` additionally requires a SAFETY
+// comment on any future unsafe block an allow here would admit.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod containing;

@@ -250,10 +250,12 @@ impl ClusterClient {
         // One pipelined frame per destination, then run the network to
         // quiescence so parked queries (remote fetches) resolve.
         for (server, mut msgs) in batches {
-            let frame = if msgs.len() == 1 {
-                msgs.pop().expect("non-empty batch")
-            } else {
+            let frame = if msgs.len() > 1 {
                 Message::Batch { msgs }
+            } else if let Some(msg) = msgs.pop() {
+                msg
+            } else {
+                continue; // empty batch: nothing to send this destination
             };
             self.cluster.request(BATCH_CLIENT, server, frame);
         }

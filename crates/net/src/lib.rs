@@ -31,6 +31,10 @@
 //! same key-routing functions place data on server processes here and
 //! on in-process engine shards in `pequod_core::sharded`.
 
+// No first-party unsafe: the whole system is safe Rust over the
+// vendored deps. `cargo xtask audit` additionally requires a SAFETY
+// comment on any future unsafe block an allow here would admit.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;

@@ -229,9 +229,7 @@ fn handle_sharded_message(handle: &mut ShardedHandle, msg: Message) -> Vec<Messa
         replies.push(match response {
             Response::Value(v) => Message::reply(
                 id,
-                v.map(|v| (key.expect("get tracked its key"), v))
-                    .into_iter()
-                    .collect(),
+                v.and_then(|v| key.map(|k| (k, v))).into_iter().collect(),
             ),
             Response::Pairs(pairs) => Message::reply(id, pairs),
             Response::Count(n) => Message::count_reply(id, n),
@@ -367,7 +365,9 @@ impl TcpClient {
     }
 
     fn call(&mut self, msg: Message) -> Result<Vec<(Key, Value)>, ClientError> {
-        let id = msg.id().expect("requests carry ids");
+        let Some(id) = msg.id() else {
+            return Err(ClientError::Remote("request message carries no id".into()));
+        };
         self.stream.write_all(&encode_frame(&msg))?;
         let mut chunk = [0u8; 16 * 1024];
         loop {

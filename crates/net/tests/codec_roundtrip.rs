@@ -4,6 +4,10 @@
 //! arbitrary binary keys and values, both as bare bodies and as
 //! length-prefixed frames split at arbitrary byte boundaries.
 
+// Test-only crate: proptest strategies sit outside #[test] functions,
+// so clippy's allow-unwrap-in-tests does not reach them.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use bytes::BytesMut;
 use pequod_net::codec::{decode, decode_frame, encode, encode_frame};
 use pequod_net::Message;

@@ -107,6 +107,8 @@ impl Durability for Persister {
     fn log(&mut self, op: &DurableOp) -> bool {
         self.writer
             .append(op)
+            // audit: allow(no-unwrap) — durability policy: a write the WAL
+            // cannot record must not be acknowledged, so crash the server.
             .unwrap_or_else(|e| panic!("pequod-persist: WAL append failed: {e}"));
         self.stats.records_logged += 1;
         self.since_snapshot += 1;
@@ -115,6 +117,8 @@ impl Durability for Persister {
 
     fn snapshot(&mut self, joins: &[String], pairs: &[(Key, Value)]) {
         self.compact(joins, pairs)
+            // audit: allow(no-unwrap) — a failed compaction leaves WAL and
+            // snapshot generations inconsistent; crashing forces recovery.
             .unwrap_or_else(|e| panic!("pequod-persist: snapshot failed: {e}"));
     }
 }

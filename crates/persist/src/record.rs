@@ -91,6 +91,17 @@ pub fn encode_record(op: &DurableOp, out: &mut Vec<u8>) {
     out.extend_from_slice(&body);
 }
 
+/// Little-endian `u32` from the first 4 bytes of `b`. Callers length-
+/// check first; a short slice zero-pads rather than panicking, keeping
+/// the decode path free of `unwrap`.
+pub(crate) fn le_u32(b: &[u8]) -> u32 {
+    let mut a = [0u8; 4];
+    for (d, s) in a.iter_mut().zip(b) {
+        *d = *s;
+    }
+    u32::from_le_bytes(a)
+}
+
 struct Reader<'a> {
     buf: &'a [u8],
 }
@@ -106,7 +117,7 @@ impl<'a> Reader<'a> {
         if self.buf.len() < 4 {
             return Err(RecordError::Truncated);
         }
-        let n = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
+        let n = le_u32(self.buf) as usize;
         if n > MAX_RECORD {
             return Err(RecordError::Oversized(n));
         }
@@ -150,11 +161,11 @@ pub fn decode_record(buf: &[u8]) -> Result<Option<(DurableOp, usize)>, RecordErr
     if buf.len() < RECORD_HEADER {
         return Ok(None);
     }
-    let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+    let len = le_u32(&buf[0..4]) as usize;
     if len > MAX_RECORD {
         return Err(RecordError::Oversized(len));
     }
-    let crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    let crc = le_u32(&buf[4..8]);
     if buf.len() < RECORD_HEADER + len {
         return Ok(None);
     }

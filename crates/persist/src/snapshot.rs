@@ -125,11 +125,17 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(crate::record::le_u32(self.take(4)?))
     }
 
     fn u64(&mut self) -> Result<u64, SnapshotError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        // Zero-padding LE decode, like `record::le_u32`: `take` already
+        // length-checked, so no fallible conversion is needed.
+        let mut a = [0u8; 8];
+        for (d, s) in a.iter_mut().zip(self.take(8)?) {
+            *d = *s;
+        }
+        Ok(u64::from_le_bytes(a))
     }
 
     fn bytes(&mut self) -> Result<&'a [u8], SnapshotError> {
@@ -149,7 +155,7 @@ pub fn read_snapshot(path: &Path) -> Result<SnapshotData, SnapshotError> {
         return Err(SnapshotError::Corrupt("bad magic"));
     }
     let body = &bytes[SNAP_MAGIC.len()..bytes.len() - 4];
-    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+    let stored = crate::record::le_u32(&bytes[bytes.len() - 4..]);
     if crc32(body) != stored {
         return Err(SnapshotError::Corrupt("checksum mismatch"));
     }

@@ -8,6 +8,9 @@
 //! process-level half (`tests/crash_recovery.rs` at the workspace
 //! root) SIGKILLs a real `pequod-server` mid-batch over TCP.
 
+// Test-only crate: shared helpers sit outside #[test] functions, so
+// clippy's allow-unwrap-in-tests does not reach them.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use bytes::Bytes;
 use pequod_core::{DurableOp, Engine};
 use pequod_persist::{attach, recover, DataDir, FsyncPolicy, PersistOptions};

@@ -92,7 +92,9 @@ impl Key {
         }
         let mut v = Vec::with_capacity(end);
         v.extend_from_slice(&b[..end]);
-        *v.last_mut().unwrap() += 1;
+        if let Some(last) = v.last_mut() {
+            *last += 1;
+        }
         Some(Key(Bytes::from(v)))
     }
 

@@ -23,6 +23,10 @@
 //! here to be [`Send`] (owned data, movable across threads), never
 //! [`Sync`]; the assertion below pins that contract at compile time.
 
+// No first-party unsafe: the whole system is safe Rust over the
+// vendored deps. `cargo xtask audit` additionally requires a SAFETY
+// comment on any future unsafe block an allow here would admit.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod interval_tree;

@@ -116,6 +116,54 @@ impl<T: Clone + Eq + Hash> LruTracker<T> {
     pub fn contains(&self, id: &T) -> bool {
         self.time_of.contains_key(id)
     }
+
+    /// Iterates tracked ids, least recently used first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.by_time.values()
+    }
+
+    /// Exhaustive consistency check of the two internal maps, used by
+    /// the paranoid invariant checker (`Engine::check_invariants`).
+    /// Returns one message per problem; empty means consistent.
+    pub fn audit(&self) -> Vec<String>
+    where
+        T: std::fmt::Debug,
+    {
+        let mut problems = Vec::new();
+        if self.by_time.len() != self.time_of.len() {
+            problems.push(format!(
+                "lru ordering holds {} ids but the index holds {}",
+                self.by_time.len(),
+                self.time_of.len()
+            ));
+        }
+        for (&t, id) in &self.by_time {
+            match self.time_of.get(id) {
+                Some(&t2) if t2 == t => {}
+                Some(&t2) => problems.push(format!(
+                    "lru id {id:?} ordered at clock {t} but indexed at {t2}"
+                )),
+                None => problems.push(format!("lru id {id:?} ordered but not indexed")),
+            }
+            if t > self.clock {
+                problems.push(format!(
+                    "lru id {id:?} stamped at {t}, ahead of the use-clock {}",
+                    self.clock
+                ));
+            }
+        }
+        problems
+    }
+
+    /// Test-only hook: desynchronizes the tracker by dropping `id` from
+    /// the ordering map while leaving it indexed, so tests can prove the
+    /// paranoid checker notices. Not part of the public API.
+    #[doc(hidden)]
+    pub fn debug_desync(&mut self, id: &T) {
+        if let Some(t) = self.time_of.get(id) {
+            self.by_time.remove(t);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -132,6 +132,77 @@ impl Store {
                 .sum::<usize>()
     }
 
+    /// Iterates `(table prefix, table)` pairs in prefix order.
+    pub fn tables(&self) -> impl Iterator<Item = (&Key, &Table)> {
+        self.tables.iter()
+    }
+
+    /// Visits every live pair, table by table in key order, without
+    /// touching the operation counters.
+    pub fn for_each(&self, mut f: impl FnMut(&Key, &Value)) {
+        for t in self.tables.values() {
+            t.for_each(&mut f);
+        }
+    }
+
+    /// Exhaustive consistency check: each table's internal bookkeeping
+    /// plus the store-wide O(1) counters recomputed from a full walk,
+    /// used by the paranoid invariant checker
+    /// (`Engine::check_invariants`). Returns one message per problem.
+    ///
+    /// `resident_value_bytes` is deliberately not recomputed: whether a
+    /// value's buffer is shared is known only at insert time (the
+    /// replace path in [`Store::put`] documents the approximation), so
+    /// only the exact counters — `keys`, `key_bytes`,
+    /// `logical_value_bytes` — are checked.
+    pub fn audit(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let (mut keys, mut key_bytes, mut logical) = (0usize, 0usize, 0usize);
+        for (prefix, t) in &self.tables {
+            for m in t.audit() {
+                problems.push(format!("table {prefix:?}: {m}"));
+            }
+            t.for_each(|k, v| {
+                keys += 1;
+                key_bytes += k.len();
+                logical += v.len();
+                if &k.table_prefix() != prefix {
+                    problems.push(format!(
+                        "key {k:?} filed under table {prefix:?} but belongs to {:?}",
+                        k.table_prefix()
+                    ));
+                }
+            });
+        }
+        if keys != self.stats.keys {
+            problems.push(format!(
+                "key counter says {} but a full walk finds {keys}",
+                self.stats.keys
+            ));
+        }
+        if key_bytes != self.stats.key_bytes {
+            problems.push(format!(
+                "key-byte counter says {} but a full walk sums {key_bytes}",
+                self.stats.key_bytes
+            ));
+        }
+        if logical != self.stats.logical_value_bytes {
+            problems.push(format!(
+                "logical-value-byte counter says {} but a full walk sums {logical}",
+                self.stats.logical_value_bytes
+            ));
+        }
+        problems
+    }
+
+    /// Test-only hook: skews the O(1) key counter by `delta` so tests
+    /// can prove the paranoid checker notices a drifted counter. Not
+    /// part of the public API.
+    #[doc(hidden)]
+    pub fn debug_skew_keys(&mut self, delta: isize) {
+        self.stats.keys = self.stats.keys.saturating_add_signed(delta);
+    }
+
     fn table_mut(&mut self, table_prefix: Key) -> &mut Table {
         let config = &self.config;
         self.tables.entry(table_prefix.clone()).or_insert_with(|| {

@@ -123,6 +123,91 @@ impl Table {
         self.index_bytes
     }
 
+    /// Visits every pair in key order without touching the operation
+    /// counters (unlike [`Table::scan`], which is a served read).
+    pub fn for_each(&self, mut f: impl FnMut(&Key, &Value)) {
+        match &self.repr {
+            Repr::Flat(map) => {
+                for (k, v) in map {
+                    f(k, v);
+                }
+            }
+            Repr::Split { subs, order, .. } => {
+                for prefix in order {
+                    if let Some(sub) = subs.get(prefix) {
+                        for (k, v) in sub {
+                            f(k, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exhaustive consistency check of the table's O(1) bookkeeping
+    /// (pair count, subtable index, index-byte counter) against a full
+    /// walk, used by the paranoid invariant checker
+    /// (`Engine::check_invariants`). Returns one message per problem.
+    pub fn audit(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut walked = 0usize;
+        self.for_each(|_, _| walked += 1);
+        if walked != self.len {
+            problems.push(format!(
+                "pair counter says {} but a full walk finds {walked}",
+                self.len
+            ));
+        }
+        match &self.repr {
+            Repr::Flat(_) => {
+                if self.index_bytes != 0 {
+                    problems.push(format!(
+                        "flat table carries {} index bytes; expected 0",
+                        self.index_bytes
+                    ));
+                }
+            }
+            Repr::Split { depth, subs, order } => {
+                if subs.len() != order.len() {
+                    problems.push(format!(
+                        "subtable hash holds {} prefixes but the order index holds {}",
+                        subs.len(),
+                        order.len()
+                    ));
+                }
+                for prefix in order {
+                    if !subs.contains_key(prefix) {
+                        problems.push(format!("ordered prefix {prefix:?} has no subtable"));
+                    }
+                }
+                for (prefix, sub) in subs {
+                    if !order.contains(prefix) {
+                        problems.push(format!("subtable {prefix:?} missing from the order index"));
+                    }
+                    if sub.is_empty() {
+                        problems.push(format!("empty subtable {prefix:?} was not dropped"));
+                    }
+                    for k in sub.keys() {
+                        if &k.component_prefix(*depth) != prefix {
+                            problems.push(format!(
+                                "key {k:?} filed under subtable {prefix:?} but routes to {:?}",
+                                k.component_prefix(*depth)
+                            ));
+                        }
+                    }
+                }
+                let want: usize = order.iter().map(index_entry_bytes).sum();
+                if want != self.index_bytes {
+                    problems.push(format!(
+                        "index-byte counter says {} but the subtable index costs {want}",
+                        self.index_bytes
+                    ));
+                }
+            }
+        }
+        problems
+    }
+
     /// Inserts or replaces a pair, returning the previous value.
     pub fn put(&mut self, key: Key, value: Value) -> Option<Value> {
         let old = match &mut self.repr {

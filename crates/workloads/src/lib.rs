@@ -47,6 +47,10 @@
 //! assert byte-identical regeneration), so results compare across runs
 //! and machines.
 
+// No first-party unsafe: the whole system is safe Rust over the
+// vendored deps. `cargo xtask audit` additionally requires a SAFETY
+// comment on any future unsafe block an allow here would admit.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod graph;

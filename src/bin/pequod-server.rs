@@ -5,7 +5,7 @@
 //!               [--subtable PREFIX:DEPTH] [--mem-limit-mb N]
 //!               [--shards N] [--shard-table PREFIX] [--shard-component C]
 //!               [--data-dir DIR] [--snapshot-every N]
-//!               [--fsync never|always|every:N]
+//!               [--fsync never|always|every:N] [--paranoid]
 //! ```
 //!
 //! Speaks the length-prefixed binary protocol of `pequod-net`; use
@@ -32,6 +32,12 @@
 //! same DIR recovers the base tables and re-derives computed ranges on
 //! first read. `--fsync` picks the power-loss window (a plain process
 //! kill never loses acknowledged writes); see `docs/PERSISTENCE.md`.
+//!
+//! `--paranoid` turns on deep invariant checking: after every engine
+//! operation the node cross-checks its O(1) counters and index
+//! structures against full recomputation and aborts on the first
+//! disagreement (see `docs/CORRECTNESS.md`). Orders of magnitude
+//! slower — a debugging and qualification mode, not a serving mode.
 
 use pequod::core::partition::ComponentHashPartition;
 use pequod::core::{Client, Engine, EngineConfig, MemoryLimit, ShardedEngine};
@@ -50,6 +56,7 @@ fn main() {
     let mut shard_component: usize = 1;
     let mut data_dir: Option<PathBuf> = None;
     let mut persist_opts = PersistOptions::default();
+    let mut paranoid = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -111,6 +118,7 @@ fn main() {
                 persist_opts.fsync = FsyncPolicy::parse(&policy)
                     .unwrap_or_else(|| panic!("bad --fsync {policy:?} (never|always|every:N)"));
             }
+            "--paranoid" => paranoid = true,
             "--help" | "-h" => {
                 println!(
                     "pequod-server [--listen ADDR] [--join 'SPEC']... \
@@ -118,7 +126,7 @@ fn main() {
                      [--mem-limit-mb N] \
                      [--shards N] [--shard-table PREFIX]... [--shard-component C] \
                      [--data-dir DIR] [--snapshot-every N] \
-                     [--fsync never|always|every:N]"
+                     [--fsync never|always|every:N] [--paranoid]"
                 );
                 return;
             }
@@ -130,6 +138,10 @@ fn main() {
     }
     let mut config = EngineConfig::with_store(store);
     config.mem_limit = mem_limit;
+    if paranoid {
+        config.paranoid = true;
+        eprintln!("paranoid: deep invariant checking after every operation (slow)");
+    }
     if let Some(limit) = mem_limit {
         eprintln!(
             "memory-bounded serving: cap {} MiB{}",

@@ -69,6 +69,11 @@
 //! function; see `examples/unified_clients.rs`,
 //! `tests/client_conformance.rs`, and `docs/ARCHITECTURE.md`.
 
+// No first-party unsafe: the whole system is safe Rust over the
+// vendored deps. `cargo xtask audit` additionally requires a SAFETY
+// comment on any future unsafe block an allow here would admit.
+#![forbid(unsafe_code)]
+
 pub use pequod_baselines as baselines;
 pub use pequod_core as core;
 pub use pequod_db as db;

@@ -35,7 +35,7 @@ fn sharded(shards: u32) -> ShardedEngine {
 fn concurrent_writers_and_readers_converge() {
     const WRITERS: usize = 4;
     const POSTS_PER_WRITER: u64 = 120;
-    let engine = sharded(4);
+    let mut engine = sharded(4);
 
     let done = Arc::new(AtomicBool::new(false));
     // Readers poll counts of every writer's post table during the run;
@@ -89,6 +89,11 @@ fn concurrent_writers_and_readers_converge() {
     }
     let stats = h.stats();
     assert_eq!(stats.keys, WRITERS as u64 * POSTS_PER_WRITER);
+
+    // Deep invariant sweep (docs/CORRECTNESS.md): every shard's
+    // counters and indexes, plus cross-shard subscription symmetry.
+    let violations = engine.check_invariants();
+    assert!(violations.is_empty(), "invariants violated: {violations:?}");
 }
 
 /// Writers post into a live cross-shard join while readers repeatedly
@@ -99,7 +104,7 @@ fn concurrent_writers_and_readers_converge() {
 fn concurrent_join_maintenance_converges() {
     const POSTERS: usize = 4;
     const POSTS_PER_POSTER: u64 = 60;
-    let engine = sharded(4);
+    let mut engine = sharded(4);
     {
         let mut h = engine.client_handle();
         h.add_join(TIMELINE).unwrap();
@@ -167,4 +172,10 @@ fn concurrent_join_maintenance_converges() {
         (POSTERS as u64).div_ceil(2) * POSTS_PER_POSTER,
         "reader1 follows the even posters"
     );
+
+    // Deep invariant sweep after a run full of cross-shard
+    // subscriptions: materialized timelines, replica residency, and
+    // peer-serving symmetry must all agree (docs/CORRECTNESS.md).
+    let violations = engine.check_invariants();
+    assert!(violations.is_empty(), "invariants violated: {violations:?}");
 }

@@ -1,0 +1,343 @@
+//! Lexical preprocessing for the auditor: comment/string stripping and
+//! `#[cfg(test)]` region tracking, all without a real Rust parser.
+//!
+//! The stripper is a character-level state machine over the whole file,
+//! so multi-line block comments, multi-line string literals, and raw
+//! strings (`r#"…"#`) are handled correctly. It produces, per line:
+//!
+//! * `code` — the line with comment bodies and string/char literal
+//!   *contents* blanked to spaces (delimiters kept), so token searches
+//!   never match inside prose or data;
+//! * the original text (annotations like `// audit: allow(...)` live in
+//!   comments and are parsed from the raw line).
+
+/// One source line after preprocessing.
+pub struct Line {
+    /// Code with comments and literal contents blanked.
+    pub code: String,
+    /// The raw source line.
+    pub raw: String,
+    /// Brace depth at the *start* of the line.
+    pub depth_before: u32,
+    /// True if the line is inside a `#[cfg(test)]`-gated item.
+    pub in_test: bool,
+}
+
+/// A whole file, preprocessed.
+pub struct FileText {
+    /// Lines, 0-indexed (line numbers reported are index + 1).
+    pub lines: Vec<Line>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    Block(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+impl FileText {
+    /// Preprocesses `src`.
+    pub fn new(src: &str) -> FileText {
+        let stripped = strip(src);
+        let raw_lines: Vec<&str> = src.split('\n').collect();
+        let code_lines: Vec<&str> = stripped.split('\n').collect();
+
+        // Second pass over the blanked code: brace depth and
+        // #[cfg(test)] regions. A pending test attribute gates the next
+        // block-opening `{`; the region ends when depth returns to the
+        // value it had before that brace.
+        let mut lines = Vec::with_capacity(raw_lines.len());
+        let mut depth: u32 = 0;
+        let mut pending_test = false;
+        let mut test_until: Option<u32> = None;
+        for (i, code) in code_lines.iter().enumerate() {
+            let depth_before = depth;
+            let in_test_at_start = test_until.is_some();
+            if code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test") {
+                pending_test = true;
+            }
+            let mut line_in_test = in_test_at_start;
+            for ch in code.chars() {
+                match ch {
+                    '{' => {
+                        if pending_test && test_until.is_none() {
+                            test_until = Some(depth);
+                            pending_test = false;
+                            line_in_test = true;
+                        }
+                        depth += 1;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if let Some(d) = test_until {
+                            if depth <= d {
+                                test_until = None;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            lines.push(Line {
+                code: (*code).to_string(),
+                raw: raw_lines.get(i).copied().unwrap_or("").to_string(),
+                depth_before,
+                in_test: line_in_test,
+            });
+        }
+        FileText { lines }
+    }
+}
+
+/// Blanks comment bodies and string/char literal contents to spaces,
+/// preserving newlines and column positions of everything else.
+fn strip(src: &str) -> String {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut st = State::Normal;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match st {
+            State::Normal => match c {
+                '/' if next == Some('/') => {
+                    st = State::LineComment;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    st = State::Block(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    st = State::Str;
+                    out.push('"');
+                }
+                'r' | 'b' => {
+                    // Possible raw string r"…", r#"…"#, br#"…"# etc.
+                    if let Some(hashes) = raw_string_open(&bytes, i) {
+                        // Emit the opener verbatim, then blank contents.
+                        let opener_len = raw_opener_len(&bytes, i);
+                        for _ in 0..opener_len {
+                            out.push(' ');
+                        }
+                        out.push('"');
+                        i += opener_len + 1;
+                        st = State::RawStr(hashes);
+                        continue;
+                    }
+                    out.push(c);
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a lifetime is '\''
+                    // followed by an identifier NOT closed by another
+                    // quote nearby. Treat as char literal when the
+                    // pattern 'x' or '\x' closes within a few chars.
+                    if is_char_literal(&bytes, i) {
+                        st = State::Char;
+                    }
+                    out.push('\'');
+                }
+                _ => out.push(c),
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    st = State::Normal;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::Block(depth) => {
+                if c == '/' && next == Some('*') {
+                    st = State::Block(depth + 1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '*' && next == Some('/') {
+                    st = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                out.push(if c == '\n' { '\n' } else { ' ' });
+            }
+            State::Str => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                }
+                '"' => {
+                    st = State::Normal;
+                    out.push('"');
+                }
+                '\n' => out.push('\n'),
+                _ => out.push(' '),
+            },
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&bytes, i, hashes) {
+                    out.push('"');
+                    for _ in 0..hashes {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                    st = State::Normal;
+                    continue;
+                }
+                out.push(if c == '\n' { '\n' } else { ' ' });
+            }
+            State::Char => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                }
+                '\'' => {
+                    st = State::Normal;
+                    out.push('\'');
+                }
+                _ => out.push(' '),
+            },
+        }
+        i += 1;
+    }
+    out
+}
+
+/// If position `i` starts a raw string opener (`r"`, `r#"`, `br#"`, …),
+/// returns the number of `#`s.
+fn raw_string_open(bytes: &[char], i: usize) -> Option<u32> {
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+        if bytes.get(j) != Some(&'r') {
+            return None;
+        }
+    }
+    if bytes.get(j) != Some(&'r') {
+        return None;
+    }
+    // Must not be part of a longer identifier (e.g. `for r in ...` has
+    // `r` preceded by a space, but `fr"` or `var"` should not match).
+    if i > 0 {
+        let prev = bytes[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return None;
+        }
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// Length of the raw-string opener before the quote: `r##` is 3, `br` is 2.
+fn raw_opener_len(bytes: &[char], i: usize) -> usize {
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    j += 1; // the 'r'
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    j - i
+}
+
+/// True if the `"` at position `i` (inside a raw string with `hashes`
+/// `#`s) is followed by exactly that many `#`s.
+fn closes_raw(bytes: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+/// Distinguishes `'a'` / `'\n'` char literals from `'a` lifetimes.
+fn is_char_literal(bytes: &[char], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => bytes.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        FileText::new(src)
+            .lines
+            .into_iter()
+            .map(|l| l.code)
+            .collect()
+    }
+
+    #[test]
+    fn strips_line_comments_and_strings() {
+        let lines = code_of("let x = \"panic!\"; // unwrap()\nlet y = 1;");
+        assert!(!lines[0].contains("panic!"));
+        assert!(!lines[0].contains("unwrap"));
+        assert!(lines[1].contains("let y = 1;"));
+    }
+
+    #[test]
+    fn strips_block_comments_across_lines() {
+        let lines = code_of("a /* unwrap()\n still unwrap() */ b");
+        assert!(!lines[0].contains("unwrap"));
+        assert!(!lines[1].contains("unwrap"));
+        assert!(lines[1].contains('b'));
+    }
+
+    #[test]
+    fn strips_raw_strings() {
+        let lines = code_of("let s = r#\"x.unwrap()\"#;\nx.unwrap();");
+        assert!(!lines[0].contains("unwrap"));
+        assert!(lines[1].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let lines = code_of("fn f<'a>(x: &'a str) { let c = '\"'; x.len(); }");
+        // The double-quote char literal must not open a string.
+        assert!(lines[0].contains("x.len()"));
+    }
+
+    #[test]
+    fn cfg_test_region_tracked() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn live2() {}\n";
+        let f = FileText::new(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[3].in_test, "inside cfg(test) mod");
+        assert!(!f.lines[5].in_test, "after the test mod closes");
+    }
+}

@@ -1,0 +1,518 @@
+//! The audit rules, applied to a preprocessed [`FileText`].
+
+use crate::lexer::FileText;
+
+/// Which rule families apply to a source root.
+#[derive(Clone, Copy)]
+pub struct CrateRules {
+    /// Deny `unwrap()` / `expect()` / `panic!` / `todo!` outside tests.
+    pub no_unwrap: bool,
+    /// Forbid `SystemTime` / `Instant::now` (determinism).
+    pub wall_clock: bool,
+    /// Flag mutex guards held across socket I/O.
+    pub lock_io: bool,
+}
+
+impl CrateRules {
+    /// Serving-path crates: every rule except lock tracking.
+    pub const fn serving() -> CrateRules {
+        CrateRules {
+            no_unwrap: true,
+            wall_clock: true,
+            lock_io: false,
+        }
+    }
+
+    /// Adds the lock-across-I/O rule (the transport crate).
+    pub const fn with_lock_io(mut self) -> CrateRules {
+        self.lock_io = true;
+        self
+    }
+
+    /// Non-serving but deterministic code (tools, baselines, binaries).
+    pub const fn deterministic() -> CrateRules {
+        CrateRules {
+            no_unwrap: false,
+            wall_clock: true,
+            lock_io: false,
+        }
+    }
+
+    /// Measurement code: only the safety-comment rule applies.
+    pub const fn relaxed() -> CrateRules {
+        CrateRules {
+            no_unwrap: false,
+            wall_clock: false,
+            lock_io: false,
+        }
+    }
+
+    /// Every rule on (used by the self-test corpus).
+    pub const fn strict() -> CrateRules {
+        CrateRules {
+            no_unwrap: true,
+            wall_clock: true,
+            lock_io: true,
+        }
+    }
+}
+
+/// One finding.
+pub struct Violation {
+    /// 1-based source line.
+    pub line: usize,
+    /// Rule name, usable in an `audit: allow(<rule>)` annotation.
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Result of auditing one file.
+pub struct Report {
+    /// Unsuppressed findings.
+    pub violations: Vec<Violation>,
+    /// Findings waived by a well-formed allow annotation.
+    pub suppressed: usize,
+}
+
+/// Socket/stream calls that count as I/O for the lock rule.
+const IO_CALLS: &[&str] = &[
+    ".write_all(",
+    ".write(",
+    ".flush(",
+    ".read_exact(",
+    ".read_to_end(",
+    ".read(",
+    "TcpStream::connect",
+    ".accept(",
+];
+
+/// Runs every applicable rule over `src`.
+pub fn audit_source(src: &str, rules: &CrateRules) -> Report {
+    let text = FileText::new(src);
+    let mut raw = Vec::new();
+
+    if rules.no_unwrap {
+        check_no_unwrap(&text, &mut raw);
+    }
+    if rules.wall_clock {
+        check_wall_clock(&text, &mut raw);
+    }
+    check_safety(&text, &mut raw);
+    if rules.lock_io {
+        check_lock_io(&text, &mut raw);
+    }
+
+    let mut violations = Vec::new();
+    let mut suppressed = 0;
+    for v in raw {
+        if allowed(&text, v.line, v.rule) {
+            suppressed += 1;
+        } else {
+            violations.push(v);
+        }
+    }
+    violations.sort_by_key(|v| v.line);
+    Report {
+        violations,
+        suppressed,
+    }
+}
+
+/// True if line `line` (1-based) carries a well-formed
+/// `audit: allow(<rule>) — <reason>` annotation, either on the line
+/// itself or anywhere in the contiguous `//` comment block immediately
+/// above it (so a justification may run to several lines).
+fn allowed(text: &FileText, line: usize, rule: &str) -> bool {
+    let mut idx = line.checked_sub(1); // 0-based index of the flagged line
+    let mut on_flagged_line = true;
+    while let Some(i) = idx {
+        let Some(l) = text.lines.get(i) else { break };
+        if !on_flagged_line && !l.raw.trim_start().starts_with("//") {
+            break;
+        }
+        if annotation_matches(&l.raw, rule) {
+            return true;
+        }
+        on_flagged_line = false;
+        idx = i.checked_sub(1);
+    }
+    false
+}
+
+/// True if `raw` contains `audit: allow(<rule>)` followed by a reason
+/// (at least a few word characters past any dash/colon separator —
+/// a reason is mandatory).
+fn annotation_matches(raw: &str, rule: &str) -> bool {
+    let Some(pos) = raw.find("audit: allow(") else {
+        return false;
+    };
+    let rest = &raw[pos + "audit: allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        return false;
+    };
+    if rest[..close].trim() != rule {
+        return false;
+    }
+    let reason = rest[close + 1..]
+        .trim_start_matches([' ', '—', '-', ':', '–'])
+        .trim();
+    reason.chars().filter(|c| c.is_alphanumeric()).count() >= 3
+}
+
+/// Finds `needle` in `code` as a whole token: neither the preceding
+/// nor the following character may be part of an identifier (so
+/// `core_panic!` does not match `panic!`, and `unsafe_helper` does not
+/// match `unsafe`).
+fn find_token(code: &str, needle: &str) -> bool {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(needle) {
+        let abs = start + pos;
+        let lead = abs == 0 || !code[..abs].chars().next_back().is_some_and(is_ident);
+        let trail = !code[abs + needle.len()..]
+            .chars()
+            .next()
+            .is_some_and(is_ident);
+        if lead && trail {
+            return true;
+        }
+        start = abs + needle.len();
+    }
+    false
+}
+
+fn check_no_unwrap(text: &FileText, out: &mut Vec<Violation>) {
+    for (i, l) in text.lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        let hits: &[(&str, &str)] = &[
+            (".unwrap()", "unwrap() in serving-path code"),
+            (".expect(", "expect() in serving-path code"),
+            ("panic!", "panic! in serving-path code"),
+            ("todo!", "todo! in serving-path code"),
+        ];
+        for (pat, msg) in hits {
+            let found = if pat.starts_with('.') {
+                l.code.contains(pat)
+            } else {
+                find_token(&l.code, pat)
+            };
+            if found {
+                out.push(Violation {
+                    line: i + 1,
+                    rule: "no-unwrap",
+                    message: format!("{msg} — propagate an error or annotate why it cannot fail"),
+                });
+            }
+        }
+    }
+}
+
+fn check_wall_clock(text: &FileText, out: &mut Vec<Violation>) {
+    for (i, l) in text.lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        if find_token(&l.code, "SystemTime") || l.code.contains("Instant::now") {
+            out.push(Violation {
+                line: i + 1,
+                rule: "wall-clock",
+                message: "wall-clock time in deterministic code — use the simulator's \
+                          virtual clock or move this to bench/workloads"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn check_safety(text: &FileText, out: &mut Vec<Violation>) {
+    for (i, l) in text.lines.iter().enumerate() {
+        if !find_token(&l.code, "unsafe") {
+            continue;
+        }
+        // Look for a SAFETY: comment on this line or up to three above.
+        let mut ok = false;
+        for back in 0..4 {
+            if let Some(idx) = i.checked_sub(back) {
+                if text.lines[idx].raw.contains("SAFETY:") {
+                    ok = true;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            out.push(Violation {
+                line: i + 1,
+                rule: "safety-comment",
+                message: "unsafe without a preceding // SAFETY: comment".to_string(),
+            });
+        }
+    }
+}
+
+/// Lock-guard tracking: statements are assembled from code lines
+/// (a statement ends when parens are balanced and the line ends with
+/// `;`, `{`, or `}`). A statement that both locks and does I/O is a
+/// violation; a `let g = ….lock()…;` binding makes the guard live until
+/// its block closes (or `drop(g)`), and any I/O inside that window is a
+/// violation.
+fn check_lock_io(text: &FileText, out: &mut Vec<Violation>) {
+    struct Guard {
+        name: String,
+        depth: u32,
+        line: usize,
+    }
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut stmt = String::new();
+    let mut stmt_start = 0usize;
+    let mut stmt_depth = 0u32;
+    let mut paren: i32 = 0;
+
+    for (i, l) in text.lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        if stmt.is_empty() {
+            stmt_start = i;
+            stmt_depth = l.depth_before;
+        }
+        for c in l.code.chars() {
+            match c {
+                '(' | '[' => paren += 1,
+                ')' | ']' => paren -= 1,
+                _ => {}
+            }
+        }
+        stmt.push_str(l.code.trim());
+        stmt.push(' ');
+        let trimmed = l.code.trim_end();
+        let ends = trimmed.ends_with(';')
+            || trimmed.ends_with('{')
+            || trimmed.ends_with('}')
+            || trimmed.ends_with(',');
+        if !(ends && paren <= 0) {
+            continue;
+        }
+
+        // Statement complete: evaluate it.
+        let s = stmt.trim().to_string();
+        stmt.clear();
+        paren = 0;
+
+        // Guards die when their block closes.
+        let depth_now = l.depth_before;
+        guards.retain(|g| depth_now >= g.depth);
+        // …or when explicitly dropped.
+        guards.retain(|g| !s.contains(&format!("drop({})", g.name)));
+
+        let has_lock = s.contains(".lock()");
+        let has_io = IO_CALLS.iter().any(|c| s.contains(c));
+        if has_lock && has_io {
+            out.push(Violation {
+                line: stmt_start + 1,
+                rule: "lock-across-io",
+                message: "statement locks a mutex and performs I/O".to_string(),
+            });
+            continue;
+        }
+        if has_io {
+            if let Some(g) = guards.first() {
+                out.push(Violation {
+                    line: stmt_start + 1,
+                    rule: "lock-across-io",
+                    message: format!(
+                        "I/O while mutex guard `{}` (bound on line {}) is held",
+                        g.name,
+                        g.line + 1
+                    ),
+                });
+                continue;
+            }
+        }
+        if has_lock {
+            if let Some(name) = guard_binding(&s) {
+                guards.push(Guard {
+                    name,
+                    depth: stmt_depth,
+                    line: stmt_start,
+                });
+            }
+        }
+    }
+}
+
+/// If `stmt` is `let <name> = <chain ending in the guard>;`, returns
+/// the bound name. The chain ends in the guard when nothing but
+/// `lock()` / `unwrap()` / `expect(…)` / `unwrap_or_else(…)` follows
+/// the lock call.
+fn guard_binding(stmt: &str) -> Option<String> {
+    let rest = stmt.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        return None;
+    }
+    let lock_pos = stmt.find(".lock()")?;
+    let mut tail = &stmt[lock_pos + ".lock()".len()..];
+    loop {
+        tail = tail.trim_start();
+        let mut progressed = false;
+        for m in [".unwrap", ".expect", ".unwrap_or_else"] {
+            if let Some(after) = tail.strip_prefix(m) {
+                // Skip one balanced paren group.
+                let mut depth = 0i32;
+                let mut consumed = None;
+                for (j, c) in after.char_indices() {
+                    match c {
+                        '(' => depth += 1,
+                        ')' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                consumed = Some(j + 1);
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(j) = consumed {
+                    tail = &after[j..];
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    let leftover = tail.trim().trim_end_matches(';').trim();
+    if leftover.is_empty() {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_all() -> CrateRules {
+        CrateRules::strict()
+    }
+
+    fn lint(src: &str) -> Vec<String> {
+        audit_source(src, &rules_all())
+            .violations
+            .into_iter()
+            .map(|v| v.rule.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn catches_unwrap_expect_panic_todo() {
+        assert_eq!(lint("fn f() { x.unwrap(); }"), vec!["no-unwrap"]);
+        assert_eq!(lint("fn f() { x.expect(\"m\"); }"), vec!["no-unwrap"]);
+        assert_eq!(lint("fn f() { panic!(\"m\"); }"), vec!["no-unwrap"]);
+        assert_eq!(lint("fn f() { todo!() }"), vec!["no-unwrap"]);
+    }
+
+    #[test]
+    fn unwrap_or_else_is_fine() {
+        assert!(lint("fn f() { x.unwrap_or_else(|| 3); }").is_empty());
+        assert!(lint("fn f() { x.unwrap_or_default(); }").is_empty());
+        assert!(lint("fn f() { x.expect_err(\"m\"); }").is_empty());
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); panic!(); }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_exempt() {
+        assert!(lint("fn f() { let s = \"don't panic!()\"; } // unwrap() here").is_empty());
+    }
+
+    #[test]
+    fn annotation_waives_with_reason() {
+        let src = "fn f() {\n    // audit: allow(no-unwrap) — the index is checked above\n    x.unwrap();\n}\n";
+        let r = audit_source(src, &rules_all());
+        assert!(r.violations.is_empty());
+        assert_eq!(r.suppressed, 1);
+    }
+
+    #[test]
+    fn annotation_without_reason_does_not_waive() {
+        let src = "fn f() {\n    // audit: allow(no-unwrap)\n    x.unwrap();\n}\n";
+        assert_eq!(lint(src), vec!["no-unwrap"]);
+    }
+
+    #[test]
+    fn annotation_for_other_rule_does_not_waive() {
+        let src = "fn f() {\n    // audit: allow(wall-clock) — some reason\n    x.unwrap();\n}\n";
+        assert_eq!(lint(src), vec!["no-unwrap"]);
+    }
+
+    #[test]
+    fn wall_clock_flagged() {
+        assert_eq!(
+            lint("fn f() { let t = std::time::Instant::now(); }"),
+            vec!["wall-clock"]
+        );
+        assert_eq!(
+            lint("fn f() { let t = SystemTime::now(); }"),
+            vec!["wall-clock"]
+        );
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        assert_eq!(lint("fn f() { unsafe { g() } }"), vec!["safety-comment"]);
+        assert!(
+            lint("fn f() {\n    // SAFETY: g has no preconditions\n    unsafe { g() }\n}")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn lock_and_io_in_one_statement() {
+        assert_eq!(
+            lint("fn f() { s.lock().unwrap_or_else(|e| e.into_inner()).write_all(b\"x\"); }"),
+            vec!["lock-across-io"]
+        );
+    }
+
+    #[test]
+    fn guard_held_across_io() {
+        let src = "fn f() {\n    let g = m.lock();\n    stream.write_all(buf);\n}\n";
+        assert_eq!(lint(src), vec!["lock-across-io"]);
+    }
+
+    #[test]
+    fn guard_dropped_before_io_is_fine() {
+        let src = "fn f() {\n    let g = m.lock();\n    drop(g);\n    stream.write_all(buf);\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn temporary_lock_chain_is_fine() {
+        // The tcp.rs idiom: the guard is a temporary inside one
+        // statement whose result is not the guard.
+        let src = "fn f() {\n    let res = engine\n        .lock()\n        .unwrap_or_else(|e| e.into_inner())\n        .count_result(&range);\n    stream.write_all(buf);\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn guard_scope_ends_with_block() {
+        let src = "fn f() {\n    {\n        let g = m.lock();\n        g.touch();\n    }\n    stream.write_all(buf);\n}\n";
+        assert!(lint(src).is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! Auditor self-test: seeds each violation class into a temp directory,
+//! runs the real file-auditing path over it, and asserts every class is
+//! caught and every exemption holds. `cargo xtask audit --self-test`
+//! runs this in CI so a silently broken linter fails the build.
+
+use crate::rules::{audit_source, CrateRules};
+use std::path::PathBuf;
+
+#[derive(Clone, Copy)]
+struct Case {
+    name: &'static str,
+    source: &'static str,
+    /// Rules expected to fire, in line order.
+    expect: &'static [&'static str],
+    /// Expected annotated-allow count.
+    expect_suppressed: usize,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        name: "unwrap",
+        source: "fn serve() { conn.next().unwrap(); }\n",
+        expect: &["no-unwrap"],
+        expect_suppressed: 0,
+    },
+    Case {
+        name: "expect",
+        source: "fn serve() { conn.next().expect(\"always there\"); }\n",
+        expect: &["no-unwrap"],
+        expect_suppressed: 0,
+    },
+    Case {
+        name: "panic",
+        source: "fn serve() { panic!(\"impossible\"); }\n",
+        expect: &["no-unwrap"],
+        expect_suppressed: 0,
+    },
+    Case {
+        name: "todo",
+        source: "fn serve() { todo!() }\n",
+        expect: &["no-unwrap"],
+        expect_suppressed: 0,
+    },
+    Case {
+        name: "wall-clock-instant",
+        source: "fn serve() { let t = std::time::Instant::now(); }\n",
+        expect: &["wall-clock"],
+        expect_suppressed: 0,
+    },
+    Case {
+        name: "wall-clock-systemtime",
+        source: "use std::time::SystemTime;\n",
+        expect: &["wall-clock"],
+        expect_suppressed: 0,
+    },
+    Case {
+        name: "unsafe-without-safety",
+        source: "fn serve() { unsafe { transmute(x) } }\n",
+        expect: &["safety-comment"],
+        expect_suppressed: 0,
+    },
+    Case {
+        name: "unsafe-with-safety",
+        source: "fn serve() {\n    // SAFETY: x is a valid bit pattern by construction\n    unsafe { transmute(x) }\n}\n",
+        expect: &[],
+        expect_suppressed: 0,
+    },
+    Case {
+        name: "lock-held-across-io",
+        source: "fn serve() {\n    let guard = engine.lock();\n    stream.write_all(&frame);\n}\n",
+        expect: &["lock-across-io"],
+        expect_suppressed: 0,
+    },
+    Case {
+        name: "lock-and-io-one-statement",
+        source: "fn serve() { engine.lock().unwrap_or_else(|e| e.into_inner()).flush(); }\n",
+        expect: &["lock-across-io"],
+        expect_suppressed: 0,
+    },
+    Case {
+        name: "lock-released-before-io",
+        source: "fn serve() {\n    let guard = engine.lock();\n    drop(guard);\n    stream.write_all(&frame);\n}\n",
+        expect: &[],
+        expect_suppressed: 0,
+    },
+    Case {
+        name: "temporary-lock-chain-clean",
+        source: "fn serve() {\n    let n = engine\n        .lock()\n        .unwrap_or_else(|e| e.into_inner())\n        .count();\n    stream.write_all(&frame);\n}\n",
+        expect: &[],
+        expect_suppressed: 0,
+    },
+    Case {
+        name: "test-code-exempt",
+        source: "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); panic!(); let t = std::time::Instant::now(); }\n}\n",
+        expect: &[],
+        expect_suppressed: 0,
+    },
+    Case {
+        name: "strings-and-comments-exempt",
+        source: "fn serve() {\n    // a comment may say unwrap() or panic!\n    let s = \"panic! at the .unwrap()\";\n    let r = r#\"Instant::now\"#;\n}\n",
+        expect: &[],
+        expect_suppressed: 0,
+    },
+    Case {
+        name: "annotation-waives",
+        source: "fn serve() {\n    // audit: allow(no-unwrap) — index checked two lines up\n    x.unwrap();\n}\n",
+        expect: &[],
+        expect_suppressed: 1,
+    },
+    Case {
+        name: "annotation-needs-reason",
+        source: "fn serve() {\n    // audit: allow(no-unwrap)\n    x.unwrap();\n}\n",
+        expect: &["no-unwrap"],
+        expect_suppressed: 0,
+    },
+    Case {
+        name: "annotation-wrong-rule",
+        source: "fn serve() {\n    // audit: allow(wall-clock) — not the right rule\n    x.unwrap();\n}\n",
+        expect: &["no-unwrap"],
+        expect_suppressed: 0,
+    },
+    Case {
+        name: "clean-file",
+        source: "fn serve() -> Result<(), Error> {\n    let v = conn.next().ok_or(Error::Closed)?;\n    Ok(())\n}\n",
+        expect: &[],
+        expect_suppressed: 0,
+    },
+];
+
+/// Runs one case through the same entry point `run_audit` uses.
+fn check(case: &Case) -> Result<(), String> {
+    let report = audit_source(case.source, &CrateRules::strict());
+    let got: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+    if got != case.expect {
+        return Err(format!(
+            "{}: expected rules {:?}, got {:?}",
+            case.name, case.expect, got
+        ));
+    }
+    if report.suppressed != case.expect_suppressed {
+        return Err(format!(
+            "{}: expected {} suppressed, got {}",
+            case.name, case.expect_suppressed, report.suppressed
+        ));
+    }
+    Ok(())
+}
+
+/// Seeds every case into a temp directory as real files and audits them
+/// from disk (exercising the I/O path too), then checks in-memory.
+pub fn run() -> i32 {
+    let dir = std::env::temp_dir().join(format!("pequod-audit-selftest-{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("self-test: cannot create {}: {e}", dir.display());
+        return 2;
+    }
+    let mut failures = 0;
+    for case in CASES {
+        let path: PathBuf = dir.join(format!("{}.rs", case.name));
+        if let Err(e) = std::fs::write(&path, case.source) {
+            eprintln!("self-test: cannot write {}: {e}", path.display());
+            failures += 1;
+            continue;
+        }
+        let from_disk = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("self-test: cannot read back {}: {e}", path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        let round_trip = Case {
+            source: Box::leak(from_disk.into_boxed_str()),
+            ..*case
+        };
+        match check(&round_trip) {
+            Ok(()) => println!("self-test: {} ok", case.name),
+            Err(msg) => {
+                eprintln!("self-test: FAIL {msg}");
+                failures += 1;
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    if failures == 0 {
+        println!("self-test: {} case(s) passed", CASES.len());
+        0
+    } else {
+        eprintln!("self-test: {failures} case(s) FAILED");
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_seeded_class_is_caught() {
+        for case in CASES {
+            check(case).unwrap();
+        }
+    }
+}
