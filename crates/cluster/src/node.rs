@@ -1,0 +1,1553 @@
+//! The replication state machine: one [`ClusterNode`] per process.
+//!
+//! The node is transport-agnostic — [`ClusterNode::handle`] consumes one
+//! wire message from a peer and returns the messages to send in
+//! response; [`ClusterNode::tick`] advances a logical millisecond clock
+//! and returns timer-driven traffic (heartbeats, promotions, catch-up
+//! retries, ack timeouts). The TCP driver (`server.rs`) and the
+//! deterministic simulator (`sim.rs`) both drive the same machine.
+//!
+//! # Protocol summary
+//!
+//! The key space is split into `slots` (≤ 64) replication units by the
+//! same component-hash partition the sharded engine routes by. Each
+//! slot has a replica set (`replicas[0]` = primary) and a per-slot
+//! **epoch** bumped by every membership or leadership change:
+//!
+//! - **Writes** go to the primary, which applies them locally (WAL +
+//!   snapshot durability via the engine's authority hook), assigns a
+//!   dense per-slot sequence number, and streams [`Message::NotifySeq`]
+//!   to every follower (and migration learner). The client is acked
+//!   only after *every* follower acked the sequence number — so any
+//!   follower that later promotes has every acked write.
+//! - **Catch-up**: a follower that detects a gap (or restarts) sends
+//!   [`Message::ReplicaSubscribe`] with its last applied sequence and
+//!   the epoch that sequence was written under. The primary replays
+//!   from its in-memory window when the `(seq, epoch)` lineage matches,
+//!   and falls back to a chunked [`Message::SnapshotChunk`] transfer
+//!   otherwise (divergent suffix of a deposed primary, or the window no
+//!   longer reaches).
+//! - **Failover**: followers promote after missed heartbeats, staggered
+//!   by replica position so the first live follower wins. Promotion
+//!   bumps the epoch and broadcasts [`Message::EpochChange`]; a deposed
+//!   primary that comes back re-requests admission and is added back
+//!   (another epoch bump).
+//! - **Migration** (install → dual-notify → flip → drop): the primary
+//!   snapshots the slot to a learner, mirrors every new write to it,
+//!   and once the learner is caught up bumps the epoch with the learner
+//!   replacing the outgoing member, which deletes its copy (it is named
+//!   in [`Message::EpochChange::dropped`] so it does not re-join).
+//!
+//! Per-slot progress (`applied seq`, `log epoch`) and the epoch view
+//! are persisted *through the store itself* under `#rep|NN` and
+//! `#epoch|NN` meta keys — `#` sorts before every table name, cannot
+//! start a user key, and the engine's authority hook always accepts it,
+//! so replication state rides the existing WAL/snapshot machinery and
+//! survives restarts for free.
+
+use crate::config::ClusterConfig;
+use pequod_core::Engine;
+use pequod_net::{Message, Partition};
+use pequod_store::{Key, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// `EpochChange::upto_seq` sentinel: "this is a relayed view, not the
+/// promotion event — never clean-adopt, resubscribe to verify".
+pub const NO_CLEAN_ADOPT: u64 = u64::MAX;
+
+/// Pairs per snapshot chunk frame.
+const SNAP_CHUNK_PAIRS: usize = 4096;
+
+/// Who a message came from / goes to. The transport layer maps client
+/// connection identities and node links onto this.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ClusterPeer {
+    /// A client connection, by transport-assigned id.
+    Client(u64),
+    /// A cluster member, by node id.
+    Node(u32),
+}
+
+/// Messages to deliver, in order.
+pub type Out = Vec<(ClusterPeer, Message)>;
+
+/// Replication counters, exposed through `NodeStatus`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClusterStats {
+    /// Client writes applied as primary.
+    pub writes_applied: u64,
+    /// Client writes acknowledged (all followers confirmed).
+    pub writes_acked: u64,
+    /// `NotPrimary` redirects issued.
+    pub redirects: u64,
+    /// Replicated ops streamed to followers/learners.
+    pub notifies_sent: u64,
+    /// Replicated ops applied as follower/learner.
+    pub notifies_applied: u64,
+    /// Self-promotions after missed heartbeats.
+    pub promotions: u64,
+    /// Epochs adopted from peers.
+    pub epoch_changes: u64,
+    /// Followers dropped for missing the ack deadline.
+    pub follower_drops: u64,
+    /// Nodes re-admitted to a replica set by this primary.
+    pub readmissions: u64,
+    /// Migrations completed (flips) by this primary.
+    pub migrations: u64,
+    /// Catch-up subscriptions sent.
+    pub catchup_subscribes: u64,
+    /// Window ops replayed to catching-up peers.
+    pub delta_ops_sent: u64,
+    /// Delta payload bytes replayed (keys + values).
+    pub delta_bytes_sent: u64,
+    /// Snapshot chunks sent.
+    pub snap_chunks_sent: u64,
+    /// Snapshot payload bytes sent (keys + values).
+    pub snap_bytes_sent: u64,
+    /// Snapshot chunks received.
+    pub snap_chunks_in: u64,
+    /// Snapshot payload bytes received.
+    pub snap_bytes_in: u64,
+    /// Snapshot installs completed.
+    pub snap_installs: u64,
+}
+
+/// An in-progress snapshot install (receiver side).
+struct SnapInstall {
+    /// Epoch stamped on the chunks.
+    epoch: u64,
+}
+
+/// An in-progress migration (primary side).
+struct Migration {
+    /// The member leaving.
+    from: u32,
+    /// The learner joining.
+    to: u32,
+    /// Who asked, and under which request id.
+    client: ClusterPeer,
+    id: u64,
+    /// Give up (and tell the learner to drop) after this time.
+    deadline: u64,
+}
+
+/// A client write awaiting follower acknowledgments.
+struct PendingWrite {
+    slot: u32,
+    seq: u64,
+    client: ClusterPeer,
+    id: u64,
+    deadline: u64,
+}
+
+/// Per-slot replication state. Every node tracks every slot (non-members
+/// keep only the epoch/replica view, for redirects).
+struct SlotState {
+    epoch: u64,
+    /// Current replica set; index 0 is the primary.
+    replicas: Vec<u32>,
+    /// Epoch under which `applied` was last advanced locally.
+    log_epoch: u64,
+    /// Last applied per-slot sequence number.
+    applied: u64,
+    /// Recent ops for delta catch-up: `(seq, epoch_assigned, key, value)`.
+    window: Vec<(u64, u64, Key, Option<Value>)>,
+    /// Primary: cumulative acks per follower.
+    follower_acked: HashMap<u32, u64>,
+    /// Follower: promote when the clock passes this.
+    hb_deadline: u64,
+    /// Primary: next heartbeat time.
+    next_hb: u64,
+    /// A catch-up subscription is outstanding.
+    catching_up: bool,
+    /// Next allowed (re)subscription time.
+    catchup_at: u64,
+    /// Round-robin cursor over retry targets.
+    catchup_rr: u32,
+    /// Snapshot install in progress.
+    snap: Option<SnapInstall>,
+    /// Ops buffered while a snapshot installs: `(seq, epoch, key, value)`.
+    buffer: Vec<(u64, u64, Key, Option<Value>)>,
+    /// Migration learner (primary side).
+    learner: Option<u32>,
+    /// Learner's cumulative ack.
+    learner_acked: u64,
+    /// Migration source is this node and the learner is synced: bounce
+    /// new writes until the flip so the handover drains.
+    flip_armed: bool,
+    /// Migration in flight (primary side).
+    migration: Option<Migration>,
+    /// This node stores the slot's data (member or learner).
+    holding: bool,
+}
+
+impl SlotState {
+    fn new(replicas: Vec<u32>) -> SlotState {
+        SlotState {
+            epoch: 0,
+            replicas,
+            log_epoch: 0,
+            applied: 0,
+            window: Vec::new(),
+            follower_acked: HashMap::new(),
+            hb_deadline: u64::MAX,
+            next_hb: 0,
+            catching_up: false,
+            catchup_at: 0,
+            catchup_rr: 0,
+            snap: None,
+            buffer: Vec::new(),
+            learner: None,
+            learner_acked: 0,
+            flip_armed: false,
+            migration: None,
+            holding: false,
+        }
+    }
+
+    fn primary(&self) -> u32 {
+        self.replicas.first().copied().unwrap_or(u32::MAX)
+    }
+
+    fn is_member(&self, node: u32) -> bool {
+        self.replicas.contains(&node)
+    }
+}
+
+/// The per-process replication state machine. Owns the serving
+/// [`Engine`]; the transport driver feeds it messages and clock ticks.
+pub struct ClusterNode {
+    id: u32,
+    cfg: ClusterConfig,
+    /// The local serving engine. Public so drivers and tests can reach
+    /// reads, joins, and durability hooks directly.
+    pub engine: Engine,
+    slots: Vec<SlotState>,
+    pending: Vec<PendingWrite>,
+    now: u64,
+    booted: bool,
+    /// Bit `s` set ⇔ this node holds slot `s` (drives the engine's
+    /// base-authority predicate, hence WAL coverage and eviction
+    /// safety, without locking).
+    mask: Arc<AtomicU64>,
+    /// Replication counters.
+    pub stats: ClusterStats,
+}
+
+fn meta_rep_key(slot: u32) -> Key {
+    Key::from(format!("#rep|{slot:02}"))
+}
+
+fn meta_epoch_key(slot: u32) -> Key {
+    Key::from(format!("#epoch|{slot:02}"))
+}
+
+fn ascii(v: impl ToString) -> Value {
+    Value::from(v.to_string().into_bytes())
+}
+
+fn parse_u64s(v: &Value) -> Vec<u64> {
+    match std::str::from_utf8(v) {
+        Ok(s) => s.split([' ', ',']).filter_map(|t| t.parse().ok()).collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+impl ClusterNode {
+    /// Wraps `engine` as cluster node `id`. The engine may already
+    /// carry recovered state (warm restart): per-slot progress and
+    /// epoch views are read back from the `#`-prefixed meta keys, and
+    /// every slot this node is a member of starts a catch-up
+    /// subscription to fetch what it missed while down.
+    pub fn new(id: u32, cfg: ClusterConfig, mut engine: Engine) -> ClusterNode {
+        let mask = Arc::new(AtomicU64::new(0));
+        let auth_mask = Arc::clone(&mask);
+        let partition = cfg.partition();
+        engine.set_base_authority(move |key: &Key| {
+            key.as_bytes().first() == Some(&b'#')
+                || (auth_mask.load(Ordering::Relaxed) >> partition.home_of(key).0) & 1 == 1
+        });
+        let mut slots = Vec::with_capacity(cfg.slots as usize);
+        for s in 0..cfg.slots {
+            let mut st = SlotState::new(cfg.initial_replicas(s));
+            if let Some(v) = engine.get(&meta_epoch_key(s)) {
+                let nums = parse_u64s(&v);
+                if nums.len() >= 2 {
+                    st.epoch = nums[0];
+                    st.replicas = nums[1..].iter().map(|&n| n as u32).collect();
+                }
+            }
+            if let Some(v) = engine.get(&meta_rep_key(s)) {
+                let nums = parse_u64s(&v);
+                if nums.len() >= 2 {
+                    st.applied = nums[0];
+                    st.log_epoch = nums[1];
+                }
+            }
+            st.holding = st.is_member(id);
+            if st.holding {
+                mask.fetch_or(1 << s, Ordering::Relaxed);
+            }
+            if st.holding && st.primary() != id {
+                // Warm restart / boot: ask the primary for the delta we
+                // missed. The primary answers with an empty delta plus a
+                // heartbeat when there is nothing to fetch. The failover
+                // deadline is armed on the first tick — the driver's
+                // clock may be far past zero, and an absolute deadline
+                // here would promote instantly over a live primary.
+                st.catching_up = true;
+                st.catchup_at = 0;
+            }
+            slots.push(st);
+        }
+        ClusterNode {
+            id,
+            cfg,
+            engine,
+            slots,
+            pending: Vec::new(),
+            now: 0,
+            booted: false,
+            mask,
+            stats: ClusterStats::default(),
+        }
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> u32 {
+        self.id
+    }
+
+    /// The cluster config this node was built with.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// The current logical time, in ms.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The node this one believes is `slot`'s primary.
+    pub fn primary_of(&self, slot: u32) -> u32 {
+        self.slots
+            .get(slot as usize)
+            .map(|st| st.primary())
+            .unwrap_or(u32::MAX)
+    }
+
+    /// Whether this node is `slot`'s primary (by its own view).
+    pub fn is_primary(&self, slot: u32) -> bool {
+        self.primary_of(slot) == self.id
+    }
+
+    /// Last applied sequence number for `slot`.
+    pub fn applied(&self, slot: u32) -> u64 {
+        self.slots
+            .get(slot as usize)
+            .map(|st| st.applied)
+            .unwrap_or(0)
+    }
+
+    fn slot_of(&self, key: &Key) -> u32 {
+        self.cfg.slot_of(key)
+    }
+
+    fn set_holding(&mut self, slot: u32, holding: bool) {
+        if let Some(st) = self.slots.get_mut(slot as usize) {
+            st.holding = holding;
+        }
+        if holding {
+            self.mask.fetch_or(1u64 << slot, Ordering::Relaxed);
+        } else {
+            self.mask.fetch_and(!(1u64 << slot), Ordering::Relaxed);
+        }
+    }
+
+    fn persist_rep(&mut self, slot: u32) {
+        let (applied, log_epoch) = {
+            let st = &self.slots[slot as usize];
+            (st.applied, st.log_epoch)
+        };
+        self.engine
+            .put(meta_rep_key(slot), ascii(format!("{applied} {log_epoch}")));
+    }
+
+    fn persist_epoch(&mut self, slot: u32) {
+        let (epoch, replicas) = {
+            let st = &self.slots[slot as usize];
+            (st.epoch, st.replicas.clone())
+        };
+        let list = replicas
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        self.engine
+            .put(meta_epoch_key(slot), ascii(format!("{epoch} {list}")));
+    }
+
+    fn apply_local(&mut self, key: &Key, value: &Option<Value>) {
+        match value {
+            Some(v) => self.engine.put(key.clone(), v.clone()),
+            None => self.engine.remove(key),
+        }
+    }
+
+    fn push_window(&mut self, slot: u32, seq: u64, epoch: u64, key: Key, value: Option<Value>) {
+        let max = self.cfg.window.max(1);
+        let st = &mut self.slots[slot as usize];
+        st.window.push((seq, epoch, key, value));
+        if st.window.len() > max + 1 {
+            let excess = st.window.len() - (max + 1);
+            st.window.drain(..excess);
+        }
+    }
+
+    fn broadcast(&self, msg: &Message, out: &mut Out) {
+        for n in 0..self.cfg.nodes.len() as u32 {
+            if n != self.id {
+                out.push((ClusterPeer::Node(n), msg.clone()));
+            }
+        }
+    }
+
+    fn epoch_change_msg(&self, slot: u32, upto_seq: u64, dropped: Option<u32>) -> Message {
+        let st = &self.slots[slot as usize];
+        Message::EpochChange {
+            slot,
+            epoch: st.epoch,
+            replicas: st.replicas.clone(),
+            upto_seq,
+            dropped,
+        }
+    }
+
+    /// Base pairs of `slot` held locally, meta keys excluded. Test and
+    /// snapshot-transfer accessor; replicas of a slot must agree on
+    /// this exactly once traffic quiesces.
+    pub fn slot_pairs(&mut self, slot: u32) -> Vec<(Key, Value)> {
+        let (_joins, pairs) = self.engine.durable_state();
+        pairs
+            .into_iter()
+            .filter(|(k, _)| k.as_bytes().first() != Some(&b'#') && self.cfg.slot_of(k) == slot)
+            .collect()
+    }
+
+    fn drop_slot_data(&mut self, slot: u32) {
+        // Delete while the authority bit is still set so the removals
+        // reach the WAL; then drop authority.
+        let doomed: Vec<Key> = self.slot_pairs(slot).into_iter().map(|(k, _)| k).collect();
+        for k in &doomed {
+            self.engine.remove(k);
+        }
+        self.set_holding(slot, false);
+        let st = &mut self.slots[slot as usize];
+        st.window.clear();
+        st.buffer.clear();
+        st.snap = None;
+        st.catching_up = false;
+        st.applied = 0;
+        st.log_epoch = 0;
+        self.persist_rep(slot);
+    }
+
+    fn fail_pending(&mut self, slot: u32, reason: &str, out: &mut Out) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].slot == slot {
+                let p = self.pending.remove(i);
+                out.push((p.client, Message::error(p.id, reason)));
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn maybe_ack_pending(&mut self, slot: u32, out: &mut Out) {
+        let min_acked = {
+            let st = &self.slots[slot as usize];
+            st.replicas[1..]
+                .iter()
+                .map(|f| st.follower_acked.get(f).copied().unwrap_or(0))
+                .min()
+                .unwrap_or(st.applied)
+        };
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].slot == slot && self.pending[i].seq <= min_acked {
+                let p = self.pending.remove(i);
+                self.stats.writes_acked += 1;
+                out.push((p.client, Message::reply(p.id, Vec::new())));
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Message handling
+// ----------------------------------------------------------------------
+
+impl ClusterNode {
+    /// Handles one message from `from`, returning the messages to send.
+    pub fn handle(&mut self, from: ClusterPeer, msg: Message) -> Out {
+        let mut out = Vec::new();
+        match msg {
+            Message::Get { id, key } => self.client_read(from, id, key, &mut out),
+            Message::Put { id, key, value } => {
+                self.client_write(from, id, key, Some(value), &mut out)
+            }
+            Message::Remove { id, key } => self.client_write(from, id, key, None, &mut out),
+            Message::Scan { id, range } => {
+                let pairs = self.primary_scan(&range);
+                out.push((from, Message::reply(id, pairs)));
+            }
+            Message::Count { id, range } => {
+                let n = self.primary_scan(&range).len() as u64;
+                out.push((from, Message::count_reply(id, n)));
+            }
+            Message::AddJoin { id, text } => match self.engine.add_joins_text(&text) {
+                Ok(_) => out.push((from, Message::reply(id, Vec::new()))),
+                Err(e) => out.push((from, Message::error(id, e.to_string()))),
+            },
+            Message::NodeStatus { id } => {
+                let pairs = self.status_pairs();
+                out.push((from, Message::reply(id, pairs)));
+            }
+            Message::Migrate {
+                id,
+                slot,
+                from: src,
+                to,
+            } => self.start_migration(from, id, slot, src, to, &mut out),
+            Message::Batch { msgs } => {
+                for m in msgs {
+                    out.extend(self.handle(from, m));
+                }
+            }
+            Message::ReplicaSubscribe {
+                slot,
+                epoch,
+                log_epoch,
+                from_seq,
+            } => self.on_subscribe(from, slot, epoch, log_epoch, from_seq, &mut out),
+            Message::NotifySeq {
+                slot,
+                epoch,
+                seq,
+                key,
+                value,
+            } => self.on_notify_seq(from, slot, epoch, seq, key, value, &mut out),
+            Message::NotifyAck {
+                slot,
+                epoch: _,
+                seq,
+            } => self.on_ack(from, slot, seq, &mut out),
+            Message::Heartbeat { slot, epoch, seq } => {
+                self.on_heartbeat(from, slot, epoch, seq, &mut out)
+            }
+            Message::SnapshotChunk {
+                slot,
+                epoch,
+                upto_seq,
+                done,
+                pairs,
+            } => self.on_snapshot_chunk(from, slot, epoch, upto_seq, done, pairs, &mut out),
+            Message::EpochChange {
+                slot,
+                epoch,
+                replicas,
+                upto_seq,
+                dropped,
+            } => self.on_epoch_change(from, slot, epoch, replicas, upto_seq, dropped, &mut out),
+            Message::Hello { .. } => {} // consumed by the transport driver
+            // The single-authority Subscribe/Notify tier and anything
+            // else a confused client sends: error if answerable.
+            other => {
+                if let Some(id) = other.id() {
+                    out.push((from, Message::error(id, "unsupported in cluster mode")));
+                }
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Client requests
+    // ------------------------------------------------------------------
+
+    fn redirect(&mut self, from: ClusterPeer, id: u64, slot: u32, node: u32, out: &mut Out) {
+        self.stats.redirects += 1;
+        let epoch = self.slots[slot as usize].epoch;
+        out.push((
+            from,
+            Message::NotPrimary {
+                id,
+                slot,
+                epoch,
+                node,
+            },
+        ));
+    }
+
+    fn client_read(&mut self, from: ClusterPeer, id: u64, key: Key, out: &mut Out) {
+        if key.as_bytes().first() == Some(&b'#') {
+            out.push((
+                from,
+                Message::error(id, "keys starting with '#' are reserved"),
+            ));
+            return;
+        }
+        let slot = self.slot_of(&key);
+        let primary = self.primary_of(slot);
+        if primary != self.id {
+            self.redirect(from, id, slot, primary, out);
+            return;
+        }
+        let pairs = self.engine.get_result(&key).pairs;
+        out.push((from, Message::reply(id, pairs)));
+    }
+
+    fn client_write(
+        &mut self,
+        from: ClusterPeer,
+        id: u64,
+        key: Key,
+        value: Option<Value>,
+        out: &mut Out,
+    ) {
+        if key.as_bytes().first() == Some(&b'#') {
+            out.push((
+                from,
+                Message::error(id, "keys starting with '#' are reserved"),
+            ));
+            return;
+        }
+        let slot = self.slot_of(&key);
+        let primary = self.primary_of(slot);
+        if primary != self.id {
+            self.redirect(from, id, slot, primary, out);
+            return;
+        }
+        if self.slots[slot as usize].flip_armed {
+            // Migration handover draining: bounce the write back at
+            // ourselves; the client's retry lands after the flip.
+            self.redirect(from, id, slot, self.id, out);
+            return;
+        }
+        self.apply_local(&key, &value);
+        let (seq, epoch, followers, learner) = {
+            let st = &mut self.slots[slot as usize];
+            st.applied += 1;
+            st.log_epoch = st.epoch;
+            (st.applied, st.epoch, st.replicas[1..].to_vec(), st.learner)
+        };
+        self.push_window(slot, seq, epoch, key.clone(), value.clone());
+        self.persist_rep(slot);
+        self.stats.writes_applied += 1;
+        let mut targets = followers;
+        if let Some(l) = learner {
+            targets.push(l);
+        }
+        for t in &targets {
+            self.stats.notifies_sent += 1;
+            out.push((
+                ClusterPeer::Node(*t),
+                Message::NotifySeq {
+                    slot,
+                    epoch,
+                    seq,
+                    key: key.clone(),
+                    value: value.clone(),
+                },
+            ));
+        }
+        let has_followers = self.slots[slot as usize].replicas.len() > 1;
+        if has_followers {
+            self.pending.push(PendingWrite {
+                slot,
+                seq,
+                client: from,
+                id,
+                deadline: self.now + self.cfg.timing.ack_timeout_ms,
+            });
+        } else {
+            self.stats.writes_acked += 1;
+            out.push((from, Message::reply(id, Vec::new())));
+        }
+    }
+
+    /// Scan serving both user keys and join outputs, filtered to the
+    /// slots this node is primary for — so a cluster-wide scatter
+    ///'gather sees each live pair exactly once.
+    fn primary_scan(&mut self, range: &pequod_store::KeyRange) -> Vec<(Key, Value)> {
+        let res = self.engine.scan(range);
+        res.pairs
+            .into_iter()
+            .filter(|(k, _)| {
+                k.as_bytes().first() != Some(&b'#')
+                    && self.primary_of(self.cfg.slot_of(k)) == self.id
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Replication: catch-up serving (primary side)
+    // ------------------------------------------------------------------
+
+    fn on_subscribe(
+        &mut self,
+        from: ClusterPeer,
+        slot: u32,
+        _epoch: u64,
+        log_epoch: u64,
+        from_seq: u64,
+        out: &mut Out,
+    ) {
+        let ClusterPeer::Node(n) = from else { return };
+        if self.primary_of(slot) != self.id {
+            // Not ours: answer with our view so the subscriber retargets.
+            out.push((from, self.epoch_change_msg(slot, NO_CLEAN_ADOPT, None)));
+            return;
+        }
+        // Re-admission: a subscriber that is neither member nor learner
+        // wants back in (restarted follower, deposed primary).
+        let is_known = {
+            let st = &self.slots[slot as usize];
+            st.is_member(n) || st.learner == Some(n)
+        };
+        if !is_known {
+            {
+                let st = &mut self.slots[slot as usize];
+                st.epoch += 1;
+                st.replicas.push(n);
+                st.log_epoch = st.epoch;
+            }
+            self.persist_epoch(slot);
+            self.stats.readmissions += 1;
+            let upto = self.slots[slot as usize].applied;
+            let msg = self.epoch_change_msg(slot, upto, None);
+            self.broadcast(&msg, out);
+        }
+        {
+            let st = &mut self.slots[slot as usize];
+            if st.is_member(n) {
+                st.follower_acked.insert(n, from_seq);
+            }
+        }
+        // Delta when the subscriber's (seq, epoch) position exists in
+        // our window — the same op in the same lineage — else snapshot.
+        let (applied, my_log_epoch) = {
+            let st = &self.slots[slot as usize];
+            (st.applied, st.log_epoch)
+        };
+        let delta_ok = if from_seq == applied {
+            log_epoch == my_log_epoch
+        } else if from_seq < applied {
+            let st = &self.slots[slot as usize];
+            if from_seq == 0 {
+                st.window.first().map(|e| e.0) == Some(1) || applied == 0
+            } else {
+                st.window
+                    .iter()
+                    .any(|(s, e, _, _)| *s == from_seq && *e == log_epoch)
+            }
+        } else {
+            false // subscriber is ahead of us: divergent suffix
+        };
+        let epoch = self.slots[slot as usize].epoch;
+        if delta_ok {
+            let replay: Vec<(u64, Key, Option<Value>)> = self.slots[slot as usize]
+                .window
+                .iter()
+                .filter(|(s, _, _, _)| *s > from_seq)
+                .map(|(s, _, k, v)| (*s, k.clone(), v.clone()))
+                .collect();
+            for (seq, key, value) in replay {
+                self.stats.delta_ops_sent += 1;
+                self.stats.delta_bytes_sent +=
+                    (key.as_bytes().len() + value.as_ref().map_or(0, |v| v.len())) as u64;
+                out.push((
+                    from,
+                    Message::NotifySeq {
+                        slot,
+                        epoch,
+                        seq,
+                        key,
+                        value,
+                    },
+                ));
+            }
+        } else {
+            self.send_snapshot(slot, from, out);
+        }
+        // Always close with a heartbeat: an in-sync subscriber clears
+        // its catching-up flag on it.
+        let applied = self.slots[slot as usize].applied;
+        out.push((
+            from,
+            Message::Heartbeat {
+                slot,
+                epoch,
+                seq: applied,
+            },
+        ));
+    }
+
+    fn send_snapshot(&mut self, slot: u32, to: ClusterPeer, out: &mut Out) {
+        let pairs = self.slot_pairs(slot);
+        let (epoch, upto_seq) = {
+            let st = &self.slots[slot as usize];
+            (st.epoch, st.applied)
+        };
+        let mut chunks: Vec<Vec<(Key, Value)>> =
+            pairs.chunks(SNAP_CHUNK_PAIRS).map(|c| c.to_vec()).collect();
+        if chunks.is_empty() {
+            chunks.push(Vec::new());
+        }
+        let last = chunks.len() - 1;
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            self.stats.snap_chunks_sent += 1;
+            self.stats.snap_bytes_sent += chunk
+                .iter()
+                .map(|(k, v)| k.as_bytes().len() + v.len())
+                .sum::<usize>() as u64;
+            out.push((
+                to,
+                Message::SnapshotChunk {
+                    slot,
+                    epoch,
+                    upto_seq,
+                    done: i == last,
+                    pairs: chunk,
+                },
+            ));
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Replication: follower side
+// ----------------------------------------------------------------------
+
+impl ClusterNode {
+    /// A sender with a newer epoch than our view: adopt the epoch and
+    /// provisionally treat it as the slot's primary until a full
+    /// `EpochChange` corrects the replica list.
+    fn adopt_newer_sender(&mut self, slot: u32, n: u32, epoch: u64) {
+        let st = &mut self.slots[slot as usize];
+        if epoch > st.epoch {
+            st.epoch = epoch;
+            st.replicas.retain(|r| *r != n);
+            st.replicas.insert(0, n);
+            self.stats.epoch_changes += 1;
+            self.persist_epoch(slot);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_notify_seq(
+        &mut self,
+        from: ClusterPeer,
+        slot: u32,
+        epoch: u64,
+        seq: u64,
+        key: Key,
+        value: Option<Value>,
+        out: &mut Out,
+    ) {
+        let ClusterPeer::Node(n) = from else { return };
+        if epoch > self.slots[slot as usize].epoch {
+            self.adopt_newer_sender(slot, n, epoch);
+        }
+        let st = &self.slots[slot as usize];
+        if st.primary() != n {
+            return; // stale primary streaming a divergent suffix
+        }
+        if !st.holding {
+            return; // not a member or learner: snapshot will cover it
+        }
+        if st.snap.is_some() {
+            // Mid-snapshot: hold the op until the base image lands.
+            self.slots[slot as usize]
+                .buffer
+                .push((seq, epoch, key, value));
+            return;
+        }
+        let applied = st.applied;
+        if seq <= applied {
+            // Duplicate (delta replay overlap): re-ack our position.
+            let epoch = self.slots[slot as usize].epoch;
+            out.push((
+                from,
+                Message::NotifyAck {
+                    slot,
+                    epoch,
+                    seq: applied,
+                },
+            ));
+            return;
+        }
+        if seq == applied + 1 {
+            self.apply_replicated(slot, seq, epoch, key, value);
+            let st = &mut self.slots[slot as usize];
+            st.catching_up = false;
+            let (e, a) = (st.epoch, st.applied);
+            out.push((
+                from,
+                Message::NotifyAck {
+                    slot,
+                    epoch: e,
+                    seq: a,
+                },
+            ));
+        } else {
+            // Gap: the missing ops are in the primary's window; ask for
+            // a replay (rate-limited by the catching-up flag).
+            self.request_catchup(slot, n, out);
+        }
+    }
+
+    fn apply_replicated(
+        &mut self,
+        slot: u32,
+        seq: u64,
+        epoch: u64,
+        key: Key,
+        value: Option<Value>,
+    ) {
+        self.apply_local(&key, &value);
+        {
+            let st = &mut self.slots[slot as usize];
+            st.applied = seq;
+            st.log_epoch = epoch;
+        }
+        self.push_window(slot, seq, epoch, key, value);
+        self.persist_rep(slot);
+        self.stats.notifies_applied += 1;
+    }
+
+    fn request_catchup(&mut self, slot: u32, target: u32, out: &mut Out) {
+        let st = &mut self.slots[slot as usize];
+        if st.catching_up || st.snap.is_some() {
+            return;
+        }
+        st.catching_up = true;
+        st.catchup_at = self.now + self.cfg.timing.resubscribe_ms;
+        let msg = Message::ReplicaSubscribe {
+            slot,
+            epoch: st.epoch,
+            log_epoch: st.log_epoch,
+            from_seq: st.applied,
+        };
+        self.stats.catchup_subscribes += 1;
+        out.push((ClusterPeer::Node(target), msg));
+    }
+
+    fn on_ack(&mut self, from: ClusterPeer, slot: u32, seq: u64, out: &mut Out) {
+        let ClusterPeer::Node(n) = from else { return };
+        if self.primary_of(slot) != self.id {
+            return;
+        }
+        {
+            let st = &mut self.slots[slot as usize];
+            if st.learner == Some(n) {
+                st.learner_acked = st.learner_acked.max(seq);
+            }
+            if st.is_member(n) {
+                let e = st.follower_acked.entry(n).or_insert(0);
+                *e = (*e).max(seq);
+            }
+        }
+        self.maybe_ack_pending(slot, out);
+    }
+
+    fn on_heartbeat(&mut self, from: ClusterPeer, slot: u32, epoch: u64, seq: u64, out: &mut Out) {
+        let ClusterPeer::Node(n) = from else { return };
+        if epoch < self.slots[slot as usize].epoch {
+            // A deposed primary still beating: show it the new epoch.
+            out.push((from, self.epoch_change_msg(slot, NO_CLEAN_ADOPT, None)));
+            return;
+        }
+        if epoch > self.slots[slot as usize].epoch {
+            self.adopt_newer_sender(slot, n, epoch);
+        }
+        let st = &self.slots[slot as usize];
+        if st.primary() != n {
+            return;
+        }
+        if st.is_member(self.id) {
+            let pos = st.replicas.iter().position(|r| *r == self.id).unwrap_or(1) as u64;
+            let st = &mut self.slots[slot as usize];
+            st.hb_deadline = self.now + self.cfg.timing.failover_ms * pos.max(1);
+            if seq > st.applied && st.snap.is_none() && !st.catching_up {
+                self.request_catchup(slot, n, out);
+            } else if seq <= st.applied && st.snap.is_none() {
+                st.catching_up = false;
+            }
+        }
+        let st = &self.slots[slot as usize];
+        if st.holding {
+            // Members and learners both re-ack on every beat; this
+            // repairs acknowledgments lost to faults.
+            out.push((
+                from,
+                Message::NotifyAck {
+                    slot,
+                    epoch: st.epoch,
+                    seq: st.applied,
+                },
+            ));
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_snapshot_chunk(
+        &mut self,
+        from: ClusterPeer,
+        slot: u32,
+        epoch: u64,
+        upto_seq: u64,
+        done: bool,
+        pairs: Vec<(Key, Value)>,
+        out: &mut Out,
+    ) {
+        let ClusterPeer::Node(n) = from else { return };
+        if epoch > self.slots[slot as usize].epoch {
+            self.adopt_newer_sender(slot, n, epoch);
+        }
+        if self.slots[slot as usize].primary() != n {
+            return;
+        }
+        self.stats.snap_chunks_in += 1;
+        self.stats.snap_bytes_in += pairs
+            .iter()
+            .map(|(k, v)| k.as_bytes().len() + v.len())
+            .sum::<usize>() as u64;
+        if self.slots[slot as usize].snap.is_none() {
+            // First chunk: clear our (possibly divergent) copy and take
+            // authority so the incoming image reaches our own WAL.
+            self.drop_slot_data(slot);
+            self.set_holding(slot, true);
+            self.slots[slot as usize].snap = Some(SnapInstall { epoch });
+        }
+        for (k, v) in pairs {
+            self.engine.put(k, v);
+        }
+        if done {
+            let buffered = {
+                let st = &mut self.slots[slot as usize];
+                st.applied = upto_seq;
+                st.log_epoch = st.snap.as_ref().map(|s| s.epoch).unwrap_or(epoch);
+                st.snap = None;
+                st.catching_up = false;
+                let mut b = std::mem::take(&mut st.buffer);
+                b.sort_by_key(|(s, _, _, _)| *s);
+                b
+            };
+            self.persist_rep(slot);
+            self.stats.snap_installs += 1;
+            for (seq, ep, k, v) in buffered {
+                let applied = self.slots[slot as usize].applied;
+                if seq == applied + 1 {
+                    self.apply_replicated(slot, seq, ep, k, v);
+                }
+                // seq <= applied: covered by the snapshot; a gap beyond
+                // applied+1 is left for the next heartbeat to detect.
+            }
+            let st = &self.slots[slot as usize];
+            out.push((
+                from,
+                Message::NotifyAck {
+                    slot,
+                    epoch: st.epoch,
+                    seq: st.applied,
+                },
+            ));
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_epoch_change(
+        &mut self,
+        from: ClusterPeer,
+        slot: u32,
+        epoch: u64,
+        replicas: Vec<u32>,
+        upto_seq: u64,
+        dropped: Option<u32>,
+        out: &mut Out,
+    ) {
+        let st = &self.slots[slot as usize];
+        let (my_epoch, my_primary) = (st.epoch, st.primary());
+        let new_primary = replicas.first().copied().unwrap_or(u32::MAX);
+        if epoch < my_epoch {
+            if let ClusterPeer::Node(_) = from {
+                out.push((from, self.epoch_change_msg(slot, NO_CLEAN_ADOPT, None)));
+            }
+            return;
+        }
+        if epoch == my_epoch && (replicas == self.slots[slot as usize].replicas) {
+            return; // our view already
+        }
+        if epoch == my_epoch && new_primary >= my_primary {
+            // Concurrent promotions produced the same epoch: the lower
+            // node id deterministically wins.
+            return;
+        }
+        let was_primary = my_primary == self.id;
+        self.stats.epoch_changes += 1;
+        {
+            let st = &mut self.slots[slot as usize];
+            st.epoch = epoch;
+            st.replicas = replicas;
+        }
+        self.persist_epoch(slot);
+        if was_primary && new_primary != self.id {
+            // Deposed mid-flight: unacked writes go back to the client.
+            self.fail_pending(slot, "primary deposed; retry", out);
+        }
+        if dropped == Some(self.id) {
+            // Deliberately removed (migration source): delete our copy
+            // and do not ask back in.
+            self.drop_slot_data(slot);
+            return;
+        }
+        let st = &mut self.slots[slot as usize];
+        if new_primary == self.id {
+            // Promoted by a flip (migration) — we were the learner and
+            // are synced by construction.
+            st.log_epoch = epoch;
+            st.catching_up = false;
+            st.snap = None;
+            st.next_hb = self.now;
+            st.hb_deadline = u64::MAX;
+            st.follower_acked.clear();
+            self.set_holding(slot, true);
+            return;
+        }
+        if st.is_member(self.id) {
+            let pos = st.replicas.iter().position(|r| *r == self.id).unwrap_or(1) as u64;
+            st.hb_deadline = self.now + self.cfg.timing.failover_ms * pos.max(1);
+            st.next_hb = 0;
+            self.set_holding(slot, true);
+            let st = &mut self.slots[slot as usize];
+            if upto_seq != NO_CLEAN_ADOPT && st.applied == upto_seq {
+                // Clean adoption: same position in the same lineage.
+                st.log_epoch = epoch;
+                st.catching_up = false;
+                let ack = Message::NotifyAck {
+                    slot,
+                    epoch,
+                    seq: st.applied,
+                };
+                out.push((ClusterPeer::Node(new_primary), ack));
+            } else if st.snap.is_none() && !st.catching_up {
+                self.request_catchup(slot, new_primary, out);
+            }
+            return;
+        }
+        // Not a member any more. If we still hold data (dropped as a
+        // laggard, or a deposed primary), ask the new primary to take
+        // us back; catch-up will reconcile our state.
+        if self.slots[slot as usize].holding {
+            self.slots[slot as usize].catching_up = false; // force a fresh subscribe
+            self.request_catchup(slot, new_primary, out);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Migration (primary side)
+    // ------------------------------------------------------------------
+
+    fn start_migration(
+        &mut self,
+        client: ClusterPeer,
+        id: u64,
+        slot: u32,
+        from: u32,
+        to: u32,
+        out: &mut Out,
+    ) {
+        if slot >= self.cfg.slots {
+            out.push((client, Message::error(id, "no such slot")));
+            return;
+        }
+        let primary = self.primary_of(slot);
+        if primary != self.id {
+            self.redirect(client, id, slot, primary, out);
+            return;
+        }
+        let st = &self.slots[slot as usize];
+        if st.migration.is_some() {
+            out.push((client, Message::error(id, "migration already in progress")));
+            return;
+        }
+        if !st.is_member(from) || st.is_member(to) || to as usize >= self.cfg.nodes.len() {
+            out.push((client, Message::error(id, "bad migration endpoints")));
+            return;
+        }
+        {
+            let st = &mut self.slots[slot as usize];
+            st.learner = Some(to);
+            st.learner_acked = 0;
+            st.migration = Some(Migration {
+                from,
+                to,
+                client,
+                id,
+                deadline: self.now + 10 * self.cfg.timing.ack_timeout_ms,
+            });
+        }
+        // Install: ship the slot image; every subsequent write is
+        // dual-notified to the learner by `client_write`.
+        self.send_snapshot(slot, ClusterPeer::Node(to), out);
+    }
+
+    fn finish_migration(&mut self, slot: u32, out: &mut Out) {
+        let Some(mig) = self.slots[slot as usize].migration.take() else {
+            return;
+        };
+        {
+            let st = &mut self.slots[slot as usize];
+            st.epoch += 1;
+            for r in st.replicas.iter_mut() {
+                if *r == mig.from {
+                    *r = mig.to;
+                }
+            }
+            st.learner = None;
+            st.flip_armed = false;
+            let acked = st.learner_acked;
+            st.follower_acked.remove(&mig.from);
+            st.follower_acked.insert(mig.to, acked);
+        }
+        self.persist_epoch(slot);
+        self.stats.migrations += 1;
+        let upto = self.slots[slot as usize].applied;
+        let msg = self.epoch_change_msg(slot, upto, Some(mig.from));
+        self.broadcast(&msg, out);
+        out.push((mig.client, Message::reply(mig.id, Vec::new())));
+        if mig.from == self.id {
+            // We migrated ourselves away: the learner took our replica
+            // position (possibly the primacy); drop our copy.
+            self.fail_pending(slot, "slot migrated away; retry", out);
+            self.drop_slot_data(slot);
+            let st = &mut self.slots[slot as usize];
+            st.log_epoch = st.epoch;
+            st.follower_acked.clear();
+            st.hb_deadline = u64::MAX;
+        } else {
+            self.maybe_ack_pending(slot, out);
+        }
+    }
+
+    fn abort_migration(&mut self, slot: u32, out: &mut Out) {
+        let Some(mig) = self.slots[slot as usize].migration.take() else {
+            return;
+        };
+        {
+            let st = &mut self.slots[slot as usize];
+            st.learner = None;
+            st.flip_armed = false;
+            // Bump the epoch so the learner (named as dropped) discards
+            // the half-installed copy instead of lingering with stale
+            // authority.
+            st.epoch += 1;
+            st.log_epoch = st.epoch;
+        }
+        self.persist_epoch(slot);
+        let upto = self.slots[slot as usize].applied;
+        let msg = self.epoch_change_msg(slot, upto, Some(mig.to));
+        self.broadcast(&msg, out);
+        out.push((mig.client, Message::error(mig.id, "migration timed out")));
+    }
+}
+
+// ----------------------------------------------------------------------
+// Timers
+// ----------------------------------------------------------------------
+
+impl ClusterNode {
+    /// Advances the logical clock to `now_ms` (also ticking the
+    /// engine's eviction clock) and returns timer-driven traffic:
+    /// heartbeats, failover promotions, catch-up retries, ack-timeout
+    /// laggard drops, and migration flips.
+    pub fn tick(&mut self, now_ms: u64) -> Out {
+        let mut out = Vec::new();
+        self.engine.tick(now_ms.saturating_sub(self.now));
+        self.now = self.now.max(now_ms);
+        if !self.booted {
+            // First tick: arm failover deadlines relative to the
+            // driver's clock (which may be far past zero on a restart
+            // into a running cluster — promoting instantly over a live
+            // primary would let an empty cold node win its slots).
+            self.booted = true;
+            for slot in 0..self.cfg.slots as usize {
+                let st = &mut self.slots[slot];
+                if st.is_member(self.id) && st.primary() != self.id {
+                    let pos = st.replicas.iter().position(|r| *r == self.id).unwrap_or(1) as u64;
+                    st.hb_deadline = self.now + self.cfg.timing.failover_ms * pos.max(1);
+                }
+            }
+        }
+        for slot in 0..self.cfg.slots {
+            let i = slot as usize;
+            if self.slots[i].primary() == self.id {
+                self.tick_primary(slot, &mut out);
+            } else if self.slots[i].is_member(self.id) {
+                self.tick_follower(slot, &mut out);
+            }
+            // Catch-up retry (members and re-admission seekers alike).
+            let st = &self.slots[i];
+            if st.catching_up && self.now >= st.catchup_at {
+                self.retry_catchup(slot, &mut out);
+            }
+        }
+        self.tick_pending(&mut out);
+        out
+    }
+
+    fn tick_primary(&mut self, slot: u32, out: &mut Out) {
+        let i = slot as usize;
+        if self.now >= self.slots[i].next_hb {
+            let (epoch, seq, followers, learner) = {
+                let st = &mut self.slots[i];
+                st.next_hb = self.now + self.cfg.timing.heartbeat_ms;
+                (st.epoch, st.applied, st.replicas[1..].to_vec(), st.learner)
+            };
+            let mut targets = followers;
+            if let Some(l) = learner {
+                targets.push(l);
+            }
+            for t in targets {
+                out.push((
+                    ClusterPeer::Node(t),
+                    Message::Heartbeat { slot, epoch, seq },
+                ));
+            }
+        }
+        // Migration: arm the drain once the learner caught up, flip
+        // once drained, abort if the learner never syncs.
+        let (synced, has_mig, from_self, expired) = {
+            let st = &self.slots[i];
+            match &st.migration {
+                None => (false, false, false, false),
+                Some(m) => (
+                    st.learner_acked >= st.applied,
+                    true,
+                    m.from == self.id,
+                    self.now >= m.deadline,
+                ),
+            }
+        };
+        if !has_mig {
+            return;
+        }
+        let slot_pending = self.pending.iter().any(|p| p.slot == slot);
+        if synced && !slot_pending {
+            if from_self && !self.slots[i].flip_armed {
+                // Drain new writes for one tick before the flip so the
+                // handover has a quiet boundary.
+                self.slots[i].flip_armed = true;
+            } else {
+                self.finish_migration(slot, out);
+            }
+        } else if expired {
+            self.abort_migration(slot, out);
+        }
+    }
+
+    fn tick_follower(&mut self, slot: u32, out: &mut Out) {
+        let i = slot as usize;
+        let st = &self.slots[i];
+        if self.now < st.hb_deadline || st.snap.is_some() {
+            return;
+        }
+        // Promote: the primary went quiet past our staggered deadline.
+        {
+            let st = &mut self.slots[i];
+            let old_primary = st.primary();
+            st.epoch += 1;
+            st.replicas.retain(|r| *r != self.id && *r != old_primary);
+            st.replicas.insert(0, self.id);
+            st.log_epoch = st.epoch;
+            st.catching_up = false;
+            st.buffer.clear();
+            st.next_hb = self.now;
+            st.hb_deadline = u64::MAX;
+            st.follower_acked.clear();
+            st.learner = None;
+            st.migration = None;
+            st.flip_armed = false;
+        }
+        self.persist_epoch(slot);
+        self.persist_rep(slot);
+        self.stats.promotions += 1;
+        let upto = self.slots[i].applied;
+        let msg = self.epoch_change_msg(slot, upto, None);
+        self.broadcast(&msg, out);
+    }
+
+    fn retry_catchup(&mut self, slot: u32, out: &mut Out) {
+        // First try goes to the believed primary; subsequent retries
+        // also cycle the other nodes in case our view is stale.
+        let (rr, primary) = {
+            let st = &mut self.slots[slot as usize];
+            st.catchup_at = self.now + self.cfg.timing.resubscribe_ms;
+            let rr = st.catchup_rr;
+            st.catchup_rr = st.catchup_rr.wrapping_add(1);
+            (rr, st.primary())
+        };
+        let n = self.cfg.nodes.len() as u32;
+        let target = if rr == 0 || n <= 1 {
+            primary
+        } else {
+            let mut t = rr % n;
+            if t == self.id {
+                t = (t + 1) % n;
+            }
+            t
+        };
+        if target == self.id {
+            return;
+        }
+        let st = &self.slots[slot as usize];
+        let msg = Message::ReplicaSubscribe {
+            slot,
+            epoch: st.epoch,
+            log_epoch: st.log_epoch,
+            from_seq: st.applied,
+        };
+        self.stats.catchup_subscribes += 1;
+        out.push((ClusterPeer::Node(target), msg));
+    }
+
+    fn tick_pending(&mut self, out: &mut Out) {
+        // Expired acks: drop the laggard followers (epoch bump) so the
+        // slot degrades to the live members instead of stalling writes.
+        let mut expired_slots = Vec::new();
+        for p in &self.pending {
+            if self.now >= p.deadline && !expired_slots.contains(&p.slot) {
+                expired_slots.push(p.slot);
+            }
+        }
+        for slot in expired_slots {
+            if self.primary_of(slot) != self.id {
+                continue;
+            }
+            let laggards: Vec<u32> = {
+                let st = &self.slots[slot as usize];
+                let worst = self
+                    .pending
+                    .iter()
+                    .filter(|p| p.slot == slot && self.now >= p.deadline)
+                    .map(|p| p.seq)
+                    .max()
+                    .unwrap_or(0);
+                st.replicas[1..]
+                    .iter()
+                    .filter(|f| st.follower_acked.get(f).copied().unwrap_or(0) < worst)
+                    .copied()
+                    .collect()
+            };
+            if !laggards.is_empty() {
+                {
+                    let st = &mut self.slots[slot as usize];
+                    st.replicas.retain(|r| !laggards.contains(r));
+                    for l in &laggards {
+                        st.follower_acked.remove(l);
+                    }
+                    st.epoch += 1;
+                    st.log_epoch = st.epoch;
+                }
+                self.persist_epoch(slot);
+                self.stats.follower_drops += laggards.len() as u64;
+                let upto = self.slots[slot as usize].applied;
+                let msg = self.epoch_change_msg(slot, upto, None);
+                self.broadcast(&msg, out);
+            }
+            self.maybe_ack_pending(slot, out);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// The `NodeStatus` answer: replication counters plus the per-slot
+    /// view, as ASCII pairs.
+    pub fn status_pairs(&mut self) -> Vec<(Key, Value)> {
+        let s = self.stats;
+        let mut pairs: Vec<(Key, Value)> = vec![
+            (
+                Key::from("stat|catchup_subscribes"),
+                ascii(s.catchup_subscribes),
+            ),
+            (
+                Key::from("stat|delta_bytes_sent"),
+                ascii(s.delta_bytes_sent),
+            ),
+            (Key::from("stat|delta_ops_sent"), ascii(s.delta_ops_sent)),
+            (Key::from("stat|epoch_changes"), ascii(s.epoch_changes)),
+            (Key::from("stat|follower_drops"), ascii(s.follower_drops)),
+            (Key::from("stat|migrations"), ascii(s.migrations)),
+            (Key::from("stat|node"), ascii(self.id)),
+            (
+                Key::from("stat|notifies_applied"),
+                ascii(s.notifies_applied),
+            ),
+            (Key::from("stat|notifies_sent"), ascii(s.notifies_sent)),
+            (Key::from("stat|promotions"), ascii(s.promotions)),
+            (Key::from("stat|readmissions"), ascii(s.readmissions)),
+            (Key::from("stat|redirects"), ascii(s.redirects)),
+            (Key::from("stat|snap_bytes_in"), ascii(s.snap_bytes_in)),
+            (Key::from("stat|snap_bytes_sent"), ascii(s.snap_bytes_sent)),
+            (Key::from("stat|snap_chunks_in"), ascii(s.snap_chunks_in)),
+            (
+                Key::from("stat|snap_chunks_sent"),
+                ascii(s.snap_chunks_sent),
+            ),
+            (Key::from("stat|snap_installs"), ascii(s.snap_installs)),
+            (Key::from("stat|writes_acked"), ascii(s.writes_acked)),
+            (Key::from("stat|writes_applied"), ascii(s.writes_applied)),
+        ];
+        for slot in 0..self.cfg.slots {
+            let st = &self.slots[slot as usize];
+            let role = if st.primary() == self.id {
+                "primary"
+            } else if st.is_member(self.id) {
+                "follower"
+            } else if st.holding {
+                "learner"
+            } else {
+                "none"
+            };
+            let replicas = st
+                .replicas
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            pairs.push((
+                Key::from(format!("slot|{slot:02}|applied")),
+                ascii(st.applied),
+            ));
+            pairs.push((Key::from(format!("slot|{slot:02}|epoch")), ascii(st.epoch)));
+            pairs.push((
+                Key::from(format!("slot|{slot:02}|primary")),
+                ascii(st.primary()),
+            ));
+            pairs.push((
+                Key::from(format!("slot|{slot:02}|replicas")),
+                ascii(replicas),
+            ));
+            pairs.push((Key::from(format!("slot|{slot:02}|role")), ascii(role)));
+        }
+        pairs
+    }
+}

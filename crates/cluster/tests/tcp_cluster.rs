@@ -1,0 +1,119 @@
+//! End-to-end replication over real TCP: three `ClusterServer`
+//! processes-worth of threads, a redirect-learning `ClusterClient`,
+//! an abrupt primary death, and reads after failover.
+
+// Test-only crate: helpers sit outside #[test] functions, so
+// clippy's allow-unwrap-in-tests does not reach them.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use pequod_cluster::{ClusterClient, ClusterConfig, ClusterServer};
+use pequod_core::Engine;
+use pequod_store::KeyRange;
+
+/// Reserves `n` distinct ephemeral ports by binding and dropping
+/// listeners (the OS keeps them out of rotation long enough for the
+/// servers to rebind).
+fn free_ports(n: usize) -> Vec<u16> {
+    let listeners: Vec<_> = (0..n)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr").port())
+        .collect()
+}
+
+fn cluster_cfg(n: u32, r: usize) -> ClusterConfig {
+    let ports = free_ports(n as usize);
+    let mut cfg = ClusterConfig::new(n, r);
+    for (node, port) in cfg.nodes.iter_mut().zip(ports) {
+        node.addr = format!("127.0.0.1:{port}");
+    }
+    cfg
+}
+
+#[test]
+fn tcp_cluster_replicates_redirects_and_fails_over() {
+    let cfg = cluster_cfg(3, 2);
+    let mut servers: Vec<ClusterServer> = (0..3)
+        .map(|id| {
+            ClusterServer::spawn(cfg.clone(), id, Engine::new_default(), None).expect("spawn node")
+        })
+        .collect();
+    // Let the peer links and first heartbeats come up.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+
+    let mut client = ClusterClient::connect(cfg.clone());
+    for i in 0..20 {
+        client
+            .put(format!("p|u{i:02}|post"), format!("body-{i}"))
+            .expect("replicated put");
+    }
+    for i in 0..20 {
+        let v = client.get(format!("p|u{i:02}|post")).expect("get");
+        assert_eq!(v.as_deref(), Some(format!("body-{i}").as_bytes()));
+    }
+    // Scatter-gathered scan and count see every row exactly once.
+    let rows = client.scan(KeyRange::prefix("p|")).expect("scan");
+    assert_eq!(rows.len(), 20);
+    assert!(rows.windows(2).all(|w| w[0].0 < w[1].0), "scan is sorted");
+    assert_eq!(client.count(KeyRange::prefix("p|")).expect("count"), 20);
+
+    // Crash node 0 (no graceful drain — failover must cover for it).
+    servers[0].halt_abrupt();
+    std::thread::sleep(std::time::Duration::from_millis(3 * cfg.timing.failover_ms));
+
+    // Every previously acked write survives the crash, served by the
+    // promoted followers; the client rediscovers primaries by cycling
+    // nodes and following NotPrimary redirects.
+    for i in 0..20 {
+        let v = client
+            .get(format!("p|u{i:02}|post"))
+            .expect("get after failover");
+        assert_eq!(v.as_deref(), Some(format!("body-{i}").as_bytes()));
+    }
+    // And new writes land on the survivors.
+    client
+        .put("p|u99|post", "fresh")
+        .expect("put after failover");
+    let v = client.get("p|u99|post").expect("read back");
+    assert_eq!(v.as_deref(), Some(&b"fresh"[..]));
+
+    let promoted: u64 = (1..3)
+        .map(|n| {
+            client
+                .status(n)
+                .expect("status")
+                .iter()
+                .find(|(k, _)| k.as_bytes() == b"stat|promotions")
+                .and_then(|(_, v)| std::str::from_utf8(v).ok()?.parse::<u64>().ok())
+                .unwrap_or(0)
+        })
+        .sum();
+    assert!(promoted > 0, "a follower promoted itself over TCP");
+
+    for s in &mut servers[1..] {
+        s.halt();
+    }
+}
+
+#[test]
+fn graceful_halt_finalizes_and_serves_until_stopped() {
+    let cfg = cluster_cfg(2, 2);
+    let mut servers: Vec<ClusterServer> = (0..2)
+        .map(|id| {
+            ClusterServer::spawn(cfg.clone(), id, Engine::new_default(), None).expect("spawn node")
+        })
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    let mut client = ClusterClient::connect(cfg.clone());
+    client.put("p|a|1", "x").expect("put");
+    assert_eq!(
+        client.get("p|a|1").expect("get").as_deref(),
+        Some(&b"x"[..])
+    );
+    // halt() drains and finalizes; calling it twice is a no-op.
+    servers[1].halt();
+    servers[1].halt();
+    servers[0].halt();
+}

@@ -58,4 +58,11 @@ pub trait Durability: Send {
     /// Receives a full snapshot of durable state: installed join texts
     /// (in installation order) and every authoritative base pair.
     fn snapshot(&mut self, joins: &[String], pairs: &[(Key, Value)]);
+
+    /// Forces buffered log records to stable storage, regardless of the
+    /// sink's fsync policy. Called by
+    /// [`Engine::sync_durability`](crate::Engine::sync_durability) on
+    /// graceful shutdown and by replication before acknowledging a
+    /// catch-up point. Default: no-op (for sinks without buffering).
+    fn sync(&mut self) {}
 }

@@ -230,6 +230,29 @@ impl Engine {
         self.durability.is_some()
     }
 
+    /// Flushes buffered WAL records to stable storage
+    /// ([`Durability::sync`]), regardless of the sink's fsync policy.
+    /// No-op without a sink.
+    pub fn sync_durability(&mut self) {
+        if let Some(d) = &mut self.durability {
+            d.sync();
+        }
+    }
+
+    /// Graceful-shutdown finalization: takes a final snapshot of
+    /// durable state and forces it (and any remaining log tail) to
+    /// stable storage, so a restart recovers from the snapshot without
+    /// replaying the log. No-op without a sink.
+    pub fn finalize_durability(&mut self) {
+        let Some(mut durability) = self.durability.take() else {
+            return;
+        };
+        let (joins, pairs) = self.durable_state();
+        durability.snapshot(&joins, &pairs);
+        durability.sync();
+        self.durability = Some(durability);
+    }
+
     /// Whether a write to `key` is a *durable base* write: the key is
     /// not in any installed join's output range (computed data is
     /// re-derived, never persisted) and this engine is its authority

@@ -103,6 +103,9 @@ enum ShardMsg {
     /// engine and report the shard's subscription state for the
     /// cross-shard symmetry check ([`ShardedEngine::check_invariants`]).
     CheckInvariants { reply: Sender<ShardAudit> },
+    /// Graceful shutdown: final snapshot + fsync of this shard's
+    /// durability sink ([`Engine::finalize_durability`]).
+    Finalize { reply: Sender<()> },
     /// Stop the worker thread.
     Shutdown,
 }
@@ -262,6 +265,10 @@ impl ShardWorker {
                         serving: self.subscribers.clone(),
                         resident,
                     });
+                }
+                ShardMsg::Finalize { reply } => {
+                    self.engine.finalize_durability();
+                    let _ = reply.send(());
                 }
                 ShardMsg::Shutdown => break,
             }
@@ -855,6 +862,18 @@ impl ShardedEngine {
     /// Number of shards.
     pub fn shards(&self) -> usize {
         self.handle.senders.len()
+    }
+
+    /// Graceful shutdown: every shard takes a final snapshot and
+    /// fsyncs its durability sink, so a restart recovers from the
+    /// snapshots without log replay. Blocks until all shards finish.
+    pub fn finalize_durability(&self) {
+        let (tx, rx) = channel();
+        for s in self.handle.senders.iter() {
+            let _ = s.send(ShardMsg::Finalize { reply: tx.clone() });
+        }
+        drop(tx);
+        for _ in rx.iter() {}
     }
 
     /// Runs the deep invariant checker ([`Engine::check_invariants`])

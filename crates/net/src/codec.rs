@@ -55,6 +55,16 @@ const TAG_NOTIFY: u8 = 9;
 const TAG_UNSUBSCRIBE: u8 = 10;
 const TAG_COUNT: u8 = 11;
 const TAG_BATCH: u8 = 12;
+const TAG_HELLO: u8 = 13;
+const TAG_REPLICA_SUBSCRIBE: u8 = 14;
+const TAG_NOTIFY_SEQ: u8 = 15;
+const TAG_NOTIFY_ACK: u8 = 16;
+const TAG_HEARTBEAT: u8 = 17;
+const TAG_SNAPSHOT_CHUNK: u8 = 18;
+const TAG_EPOCH_CHANGE: u8 = 19;
+const TAG_NOT_PRIMARY: u8 = 20;
+const TAG_MIGRATE: u8 = 21;
+const TAG_NODE_STATUS: u8 = 22;
 
 /// Maximum nesting of `Batch` frames, to bound decoder recursion on
 /// malicious input. A batch of batches is already pathological; real
@@ -157,6 +167,108 @@ pub fn encode(msg: &Message, buf: &mut BytesMut) {
                 encode(m, &mut body);
                 put_bytes(buf, &body);
             }
+        }
+        Message::Hello { node } => {
+            buf.put_u8(TAG_HELLO);
+            buf.put_u32_le(*node);
+        }
+        Message::ReplicaSubscribe {
+            slot,
+            epoch,
+            log_epoch,
+            from_seq,
+        } => {
+            buf.put_u8(TAG_REPLICA_SUBSCRIBE);
+            buf.put_u32_le(*slot);
+            buf.put_u64_le(*epoch);
+            buf.put_u64_le(*log_epoch);
+            buf.put_u64_le(*from_seq);
+        }
+        Message::NotifySeq {
+            slot,
+            epoch,
+            seq,
+            key,
+            value,
+        } => {
+            buf.put_u8(TAG_NOTIFY_SEQ);
+            buf.put_u32_le(*slot);
+            buf.put_u64_le(*epoch);
+            buf.put_u64_le(*seq);
+            put_bytes(buf, key.as_bytes());
+            put_opt_bytes(buf, value.as_deref());
+        }
+        Message::NotifyAck { slot, epoch, seq } => {
+            buf.put_u8(TAG_NOTIFY_ACK);
+            buf.put_u32_le(*slot);
+            buf.put_u64_le(*epoch);
+            buf.put_u64_le(*seq);
+        }
+        Message::Heartbeat { slot, epoch, seq } => {
+            buf.put_u8(TAG_HEARTBEAT);
+            buf.put_u32_le(*slot);
+            buf.put_u64_le(*epoch);
+            buf.put_u64_le(*seq);
+        }
+        Message::SnapshotChunk {
+            slot,
+            epoch,
+            upto_seq,
+            done,
+            pairs,
+        } => {
+            buf.put_u8(TAG_SNAPSHOT_CHUNK);
+            buf.put_u32_le(*slot);
+            buf.put_u64_le(*epoch);
+            buf.put_u64_le(*upto_seq);
+            buf.put_u8(u8::from(*done));
+            put_pairs(buf, pairs);
+        }
+        Message::EpochChange {
+            slot,
+            epoch,
+            replicas,
+            upto_seq,
+            dropped,
+        } => {
+            buf.put_u8(TAG_EPOCH_CHANGE);
+            buf.put_u32_le(*slot);
+            buf.put_u64_le(*epoch);
+            buf.put_u32_le(replicas.len() as u32);
+            for r in replicas {
+                buf.put_u32_le(*r);
+            }
+            buf.put_u64_le(*upto_seq);
+            match dropped {
+                Some(n) => {
+                    buf.put_u8(1);
+                    buf.put_u32_le(*n);
+                }
+                None => buf.put_u8(0),
+            }
+        }
+        Message::NotPrimary {
+            id,
+            slot,
+            epoch,
+            node,
+        } => {
+            buf.put_u8(TAG_NOT_PRIMARY);
+            buf.put_u64_le(*id);
+            buf.put_u32_le(*slot);
+            buf.put_u64_le(*epoch);
+            buf.put_u32_le(*node);
+        }
+        Message::Migrate { id, slot, from, to } => {
+            buf.put_u8(TAG_MIGRATE);
+            buf.put_u64_le(*id);
+            buf.put_u32_le(*slot);
+            buf.put_u32_le(*from);
+            buf.put_u32_le(*to);
+        }
+        Message::NodeStatus { id } => {
+            buf.put_u8(TAG_NODE_STATUS);
+            buf.put_u64_le(*id);
         }
     }
 }
@@ -317,6 +429,74 @@ fn decode_at(body: &[u8], depth: u8) -> Result<Message, CodecError> {
             }
             Message::Batch { msgs }
         }
+        TAG_HELLO => Message::Hello { node: r.u32()? },
+        TAG_REPLICA_SUBSCRIBE => Message::ReplicaSubscribe {
+            slot: r.u32()?,
+            epoch: r.u64()?,
+            log_epoch: r.u64()?,
+            from_seq: r.u64()?,
+        },
+        TAG_NOTIFY_SEQ => Message::NotifySeq {
+            slot: r.u32()?,
+            epoch: r.u64()?,
+            seq: r.u64()?,
+            key: r.key()?,
+            value: r.opt_bytes()?,
+        },
+        TAG_NOTIFY_ACK => Message::NotifyAck {
+            slot: r.u32()?,
+            epoch: r.u64()?,
+            seq: r.u64()?,
+        },
+        TAG_HEARTBEAT => Message::Heartbeat {
+            slot: r.u32()?,
+            epoch: r.u64()?,
+            seq: r.u64()?,
+        },
+        TAG_SNAPSHOT_CHUNK => Message::SnapshotChunk {
+            slot: r.u32()?,
+            epoch: r.u64()?,
+            upto_seq: r.u64()?,
+            done: r.u8()? != 0,
+            pairs: r.pairs()?,
+        },
+        TAG_EPOCH_CHANGE => {
+            let slot = r.u32()?;
+            let epoch = r.u64()?;
+            let n = r.u32()? as usize;
+            if n > MAX_FRAME / 4 {
+                return Err(CodecError::Oversized(n));
+            }
+            let mut replicas = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                replicas.push(r.u32()?);
+            }
+            let upto_seq = r.u64()?;
+            let dropped = match r.u8()? {
+                0 => None,
+                _ => Some(r.u32()?),
+            };
+            Message::EpochChange {
+                slot,
+                epoch,
+                replicas,
+                upto_seq,
+                dropped,
+            }
+        }
+        TAG_NOT_PRIMARY => Message::NotPrimary {
+            id: r.u64()?,
+            slot: r.u32()?,
+            epoch: r.u64()?,
+            node: r.u32()?,
+        },
+        TAG_MIGRATE => Message::Migrate {
+            id: r.u64()?,
+            slot: r.u32()?,
+            from: r.u32()?,
+            to: r.u32()?,
+        },
+        TAG_NODE_STATUS => Message::NodeStatus { id: r.u64()? },
         t => return Err(CodecError::BadTag(t)),
     };
     Ok(msg)
@@ -429,6 +609,82 @@ mod tests {
                 },
             ],
         });
+    }
+
+    #[test]
+    fn replication_messages_roundtrip() {
+        roundtrip(Message::Hello { node: 3 });
+        roundtrip(Message::ReplicaSubscribe {
+            slot: 5,
+            epoch: 2,
+            log_epoch: 1,
+            from_seq: 99,
+        });
+        roundtrip(Message::NotifySeq {
+            slot: 5,
+            epoch: 2,
+            seq: 100,
+            key: Key::from("p|bob|100"),
+            value: Some(Bytes::from_static(b"Hi")),
+        });
+        roundtrip(Message::NotifySeq {
+            slot: 0,
+            epoch: 0,
+            seq: 1,
+            key: Key::from("p|bob|100"),
+            value: None,
+        });
+        roundtrip(Message::NotifyAck {
+            slot: 5,
+            epoch: 2,
+            seq: 100,
+        });
+        roundtrip(Message::Heartbeat {
+            slot: 7,
+            epoch: 3,
+            seq: 41,
+        });
+        roundtrip(Message::SnapshotChunk {
+            slot: 1,
+            epoch: 4,
+            upto_seq: 250,
+            done: true,
+            pairs: vec![(Key::from("p|bob|1"), Bytes::from_static(b"x"))],
+        });
+        roundtrip(Message::SnapshotChunk {
+            slot: 1,
+            epoch: 4,
+            upto_seq: 250,
+            done: false,
+            pairs: vec![],
+        });
+        roundtrip(Message::EpochChange {
+            slot: 2,
+            epoch: 9,
+            replicas: vec![1, 0, 2],
+            upto_seq: 77,
+            dropped: Some(2),
+        });
+        roundtrip(Message::EpochChange {
+            slot: 2,
+            epoch: 9,
+            replicas: vec![],
+            upto_seq: 0,
+            dropped: None,
+        });
+        roundtrip(Message::NotPrimary {
+            id: 18,
+            slot: 3,
+            epoch: 6,
+            node: 1,
+        });
+        roundtrip(Message::Migrate {
+            id: 19,
+            slot: 3,
+            from: 0,
+            to: 2,
+        });
+        roundtrip(Message::NodeStatus { id: 20 });
     }
 
     #[test]

@@ -49,8 +49,8 @@ pub use client::ClusterClient;
 pub use message::Message;
 pub use partition::{ComponentHashPartition, Partition, ServerId, SingleServer, TablePartition};
 pub use server::{Endpoint, NodeStats, ServerNode};
-pub use sim::{SimCluster, SimConfig, TrafficStats};
-pub use tcp::{ClientError, TcpClient, TcpServer};
+pub use sim::{FaultStats, LinkFaults, SimCluster, SimConfig, SimNet, TrafficStats};
+pub use tcp::{ClientError, RetryPolicy, TcpClient, TcpServer};
 
 #[cfg(test)]
 mod tests {

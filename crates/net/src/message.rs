@@ -102,6 +102,135 @@ pub enum Message {
         /// The pipelined messages.
         msgs: Vec<Message>,
     },
+    /// First frame on a node-to-node link: identifies the dialing
+    /// cluster node, so subsequent frames on the connection can be
+    /// attributed to it (client connections never send this).
+    Hello {
+        /// The dialer's node id.
+        node: u32,
+    },
+    /// Node→node: (re)subscribe to a replicated slot. Sent by a
+    /// follower that detected a sequence gap, a restarted node warm
+    /// catching up, or a node asking for (re-)admission to a replica
+    /// set. The primary answers with a delta of `NotifySeq` frames when
+    /// its in-memory window still covers `from_seq` and the follower's
+    /// log lineage is valid, or with a chunked snapshot otherwise.
+    ReplicaSubscribe {
+        /// The replicated slot (partition range id).
+        slot: u32,
+        /// The sender's current epoch for the slot.
+        epoch: u64,
+        /// The epoch under which the sender's local log/applied state
+        /// was last written — the primary uses it to detect divergent
+        /// suffixes (a deposed primary's unacknowledged tail).
+        log_epoch: u64,
+        /// The sender's last applied sequence number for the slot.
+        from_seq: u64,
+    },
+    /// Node→node: one epoch-stamped, sequence-numbered base write
+    /// streamed from a slot's primary to its followers. The replicated
+    /// analogue of [`Message::Notify`]; per-slot sequence numbers let
+    /// followers detect gaps.
+    NotifySeq {
+        /// The replicated slot.
+        slot: u32,
+        /// The primary's epoch for the slot.
+        epoch: u64,
+        /// Per-slot sequence number (dense, starting at 1).
+        seq: u64,
+        /// The modified key.
+        key: Key,
+        /// New value, or `None` for a removal.
+        value: Option<Value>,
+    },
+    /// Node→node: cumulative follower acknowledgment — everything up to
+    /// and including `seq` is applied and locally durable. The primary
+    /// acknowledges a client write only after every follower acked it.
+    NotifyAck {
+        /// The replicated slot.
+        slot: u32,
+        /// The follower's epoch for the slot.
+        epoch: u64,
+        /// Highest contiguously applied sequence number.
+        seq: u64,
+    },
+    /// Node→node: primary liveness beacon, carrying the latest assigned
+    /// sequence number so an idle follower still detects gaps. Missed
+    /// heartbeats trigger follower promotion (epoch bump).
+    Heartbeat {
+        /// The replicated slot.
+        slot: u32,
+        /// The primary's epoch for the slot.
+        epoch: u64,
+        /// Latest assigned sequence number.
+        seq: u64,
+    },
+    /// Node→node: one chunk of a slot snapshot transfer (follower
+    /// bootstrap / catch-up when the delta window no longer reaches).
+    SnapshotChunk {
+        /// The replicated slot.
+        slot: u32,
+        /// The primary's epoch for the slot.
+        epoch: u64,
+        /// The sequence number the snapshot is current as of; the
+        /// receiver resumes delta replay from here.
+        upto_seq: u64,
+        /// True on the final chunk.
+        done: bool,
+        /// Base pairs in this chunk.
+        pairs: Vec<(Key, Value)>,
+    },
+    /// Node→node: announces a new epoch for a slot — after a failover
+    /// promotion, a membership change (laggard drop, re-admission), or
+    /// a migration flip. `replicas[0]` is the new primary.
+    EpochChange {
+        /// The replicated slot.
+        slot: u32,
+        /// The new epoch.
+        epoch: u64,
+        /// The new replica set; index 0 is the primary.
+        replicas: Vec<u32>,
+        /// The primary's applied sequence number when the epoch began —
+        /// a member whose applied state matches adopts the epoch
+        /// without a catch-up round trip.
+        upto_seq: u64,
+        /// A node deliberately dropped from the set (migration source):
+        /// it deletes its copy instead of re-requesting admission.
+        dropped: Option<u32>,
+    },
+    /// Reply to a client request that reached a node that is not the
+    /// slot's primary: names the node to retry against. Clients resolve
+    /// the node id to an address through their cluster config.
+    NotPrimary {
+        /// The request this answers.
+        id: u64,
+        /// The slot the request's key belongs to.
+        slot: u32,
+        /// The replier's epoch for the slot (clients keep the highest
+        /// epoch seen, ignoring stale redirects).
+        epoch: u64,
+        /// The believed primary's node id.
+        node: u32,
+    },
+    /// Admin→primary: live-migrate a slot's membership from node `from`
+    /// to node `to` (install → dual-notify → flip authority → drop).
+    /// Answered with an empty [`Message::Reply`] once the flip is done.
+    Migrate {
+        /// Request id.
+        id: u64,
+        /// The slot to move.
+        slot: u32,
+        /// The member leaving the replica set.
+        from: u32,
+        /// The node joining in its place.
+        to: u32,
+    },
+    /// Admin: asks a cluster node for its per-slot view and replication
+    /// counters, answered as a [`Message::Reply`] pair list.
+    NodeStatus {
+        /// Request id.
+        id: u64,
+    },
 }
 
 /// The reply-pair key under which a [`Message::Count`] answer carries
@@ -121,8 +250,20 @@ impl Message {
             | Message::AddJoin { id, .. }
             | Message::Reply { id, .. }
             | Message::Subscribe { id, .. }
-            | Message::SubscribeReply { id, .. } => Some(*id),
-            Message::Notify { .. } | Message::Unsubscribe { .. } | Message::Batch { .. } => None,
+            | Message::SubscribeReply { id, .. }
+            | Message::NotPrimary { id, .. }
+            | Message::Migrate { id, .. }
+            | Message::NodeStatus { id } => Some(*id),
+            Message::Notify { .. }
+            | Message::Unsubscribe { .. }
+            | Message::Batch { .. }
+            | Message::Hello { .. }
+            | Message::ReplicaSubscribe { .. }
+            | Message::NotifySeq { .. }
+            | Message::NotifyAck { .. }
+            | Message::Heartbeat { .. }
+            | Message::SnapshotChunk { .. }
+            | Message::EpochChange { .. } => None,
         }
     }
 

@@ -197,6 +197,15 @@ impl ServerNode {
                     vec![]
                 }
             }
+            // Replication traffic belongs to `pequod_cluster`'s node
+            // loop, not the single-authority Subscribe/Notify server.
+            other => match other.id() {
+                Some(id) => vec![(
+                    from,
+                    Message::error(id, "replication message on a non-replicated server"),
+                )],
+                None => vec![],
+            },
         }
     }
 

@@ -44,6 +44,221 @@ impl Default for SimConfig {
     }
 }
 
+/// Per-link fault knobs for [`SimNet`].
+///
+/// All probabilities are per message, drawn from the fabric's seeded
+/// RNG, so a given (seed, send sequence) reproduces the exact same
+/// loss/duplication/reordering pattern.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LinkFaults {
+    /// Probability a message is silently discarded.
+    pub drop_chance: f64,
+    /// Probability a message is delivered twice.
+    pub dup_chance: f64,
+    /// Probability a message is delayed by an extra random amount (up
+    /// to [`LinkFaults::reorder_delay`]), letting later sends overtake
+    /// it.
+    pub reorder_chance: f64,
+    /// Maximum extra delay applied to reordered messages, in ticks.
+    pub reorder_delay: u64,
+}
+
+impl LinkFaults {
+    /// A lossy, duplicating, reordering link — convenience for tests.
+    pub fn lossy(drop_chance: f64, dup_chance: f64, reorder_chance: f64) -> LinkFaults {
+        LinkFaults {
+            drop_chance,
+            dup_chance,
+            reorder_chance,
+            reorder_delay: 20,
+        }
+    }
+}
+
+/// Fault counters accumulated by a [`SimNet`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultStats {
+    /// Messages discarded by `drop_chance`.
+    pub dropped: u64,
+    /// Extra copies injected by `dup_chance`.
+    pub duplicated: u64,
+    /// Messages given extra delay by `reorder_chance`.
+    pub reordered: u64,
+    /// Messages handed out by [`SimNet::take_due`].
+    pub delivered: u64,
+}
+
+#[derive(PartialEq, Eq)]
+struct NetEnvelope {
+    at: u64,
+    seq: u64,
+    from: u32,
+    to: u32,
+}
+
+impl Ord for NetEnvelope {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for NetEnvelope {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic point-to-point message fabric with fault injection.
+///
+/// Unlike [`SimCluster`] — which wraps [`ServerNode`]s and assumes the
+/// lossless Subscribe/Notify protocol — `SimNet` is a bare transport:
+/// endpoints are opaque `u32` ids, the caller delivers messages itself,
+/// and each directed link can drop, duplicate, or reorder traffic. The
+/// replicated-cluster tests (`pequod_cluster`) run their loss/reorder
+/// sweeps on it without real sockets; the replication protocol's
+/// sequence numbers and catch-up machinery are what make that safe.
+///
+/// Time is the caller's: `send` stamps departures with the caller's
+/// `now`, `take_due(now)` returns everything that has arrived by `now`
+/// in deterministic (arrival, send-sequence) order.
+pub struct SimNet {
+    queue: BinaryHeap<Reverse<NetEnvelope>>,
+    payloads: std::collections::HashMap<u64, Message>,
+    seq: u64,
+    rng: u64,
+    latency: u64,
+    default_faults: LinkFaults,
+    faults: std::collections::HashMap<(u32, u32), LinkFaults>,
+    down: std::collections::HashSet<u32>,
+    /// Fault and delivery counters.
+    pub stats: FaultStats,
+}
+
+impl SimNet {
+    /// A fabric with the given RNG seed and per-hop latency (ticks).
+    pub fn new(seed: u64, latency: u64) -> SimNet {
+        SimNet {
+            queue: BinaryHeap::new(),
+            payloads: std::collections::HashMap::new(),
+            seq: 0,
+            rng: seed | 1,
+            latency,
+            default_faults: LinkFaults::default(),
+            faults: std::collections::HashMap::new(),
+            down: std::collections::HashSet::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Sets the fault profile applied to every link without an explicit
+    /// override.
+    pub fn set_default_faults(&mut self, faults: LinkFaults) {
+        self.default_faults = faults;
+    }
+
+    /// Sets the fault profile of one directed link.
+    pub fn set_link_faults(&mut self, from: u32, to: u32, faults: LinkFaults) {
+        self.faults.insert((from, to), faults);
+    }
+
+    /// Marks an endpoint down (messages to or from it are blackholed)
+    /// or back up — models a crashed or partitioned node.
+    pub fn set_down(&mut self, endpoint: u32, down: bool) {
+        if down {
+            self.down.insert(endpoint);
+        } else {
+            self.down.remove(&endpoint);
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64* (same generator as SimCluster).
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        ((self.next_rand() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    fn enqueue(&mut self, at: u64, from: u32, to: u32, msg: Message) {
+        self.seq += 1;
+        self.payloads.insert(self.seq, msg);
+        self.queue.push(Reverse(NetEnvelope {
+            at,
+            seq: self.seq,
+            from,
+            to,
+        }));
+    }
+
+    /// Sends a message departing at `now`; it arrives `latency` ticks
+    /// later unless the link's faults drop, duplicate, or delay it.
+    pub fn send(&mut self, now: u64, from: u32, to: u32, msg: Message) {
+        if self.down.contains(&from) || self.down.contains(&to) {
+            self.stats.dropped += 1;
+            return;
+        }
+        let faults = *self.faults.get(&(from, to)).unwrap_or(&self.default_faults);
+        if self.chance(faults.drop_chance) {
+            self.stats.dropped += 1;
+            return;
+        }
+        let mut at = now + self.latency;
+        if self.chance(faults.reorder_chance) {
+            self.stats.reordered += 1;
+            at += 1 + self.next_rand() % faults.reorder_delay.max(1);
+        }
+        if self.chance(faults.dup_chance) {
+            self.stats.duplicated += 1;
+            self.enqueue(at, from, to, msg.clone());
+        }
+        self.enqueue(at, from, to, msg);
+    }
+
+    /// Arrival time of the earliest in-flight message, if any.
+    pub fn next_at(&self) -> Option<u64> {
+        self.queue.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_quiet(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Takes every message that has arrived by `now`, in deterministic
+    /// order. Messages addressed to a down endpoint are discarded at
+    /// delivery time (they were in flight when it went down).
+    pub fn take_due(&mut self, now: u64) -> Vec<(u32, u32, Message)> {
+        let mut out = Vec::new();
+        while let Some(Reverse(env)) = self.queue.peek() {
+            if env.at > now {
+                break;
+            }
+            let Some(Reverse(env)) = self.queue.pop() else {
+                break;
+            };
+            let Some(msg) = self.payloads.remove(&env.seq) else {
+                continue;
+            };
+            if self.down.contains(&env.to) || self.down.contains(&env.from) {
+                self.stats.dropped += 1;
+                continue;
+            }
+            self.stats.delivered += 1;
+            out.push((env.from, env.to, msg));
+        }
+        out
+    }
+}
+
 /// Wire-byte counters by message class.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct TrafficStats {

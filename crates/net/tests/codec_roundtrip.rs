@@ -71,6 +71,77 @@ fn leaf_strategy() -> BoxedStrategy<Message> {
         (key_strategy(), proptest::option::of(value_strategy()))
             .prop_map(|(key, value)| Message::Notify { key, value }),
         range_strategy().prop_map(|range| Message::Unsubscribe { range }),
+        // The replication vocabulary (crates/cluster).
+        any::<u32>().prop_map(|node| Message::Hello { node }),
+        (any::<u32>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(slot, epoch, log_epoch, from_seq)| Message::ReplicaSubscribe {
+                slot,
+                epoch,
+                log_epoch,
+                from_seq
+            }
+        ),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            key_strategy(),
+            proptest::option::of(value_strategy())
+        )
+            .prop_map(|(slot, epoch, seq, key, value)| Message::NotifySeq {
+                slot,
+                epoch,
+                seq,
+                key,
+                value
+            }),
+        (any::<u32>(), any::<u64>(), any::<u64>())
+            .prop_map(|(slot, epoch, seq)| Message::NotifyAck { slot, epoch, seq }),
+        (any::<u32>(), any::<u64>(), any::<u64>())
+            .prop_map(|(slot, epoch, seq)| Message::Heartbeat { slot, epoch, seq }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<bool>(),
+            pairs_strategy()
+        )
+            .prop_map(
+                |(slot, epoch, upto_seq, done, pairs)| Message::SnapshotChunk {
+                    slot,
+                    epoch,
+                    upto_seq,
+                    done,
+                    pairs
+                }
+            ),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u32>(), 0..6),
+            any::<u64>(),
+            proptest::option::of(any::<u32>())
+        )
+            .prop_map(
+                |(slot, epoch, replicas, upto_seq, dropped)| Message::EpochChange {
+                    slot,
+                    epoch,
+                    replicas,
+                    upto_seq,
+                    dropped
+                }
+            ),
+        (0u64..1000, any::<u32>(), any::<u64>(), any::<u32>()).prop_map(
+            |(id, slot, epoch, node)| Message::NotPrimary {
+                id,
+                slot,
+                epoch,
+                node
+            }
+        ),
+        (0u64..1000, any::<u32>(), any::<u32>(), any::<u32>())
+            .prop_map(|(id, slot, from, to)| Message::Migrate { id, slot, from, to }),
+        (0u64..1000).prop_map(|id| Message::NodeStatus { id }),
     ]
     .boxed()
 }

@@ -121,6 +121,15 @@ impl Durability for Persister {
             // snapshot generations inconsistent; crashing forces recovery.
             .unwrap_or_else(|e| panic!("pequod-persist: snapshot failed: {e}"));
     }
+
+    fn sync(&mut self) {
+        self.writer
+            .sync()
+            // audit: allow(no-unwrap) — same policy as `log`: a sync the
+            // caller depends on (shutdown, replication ack) must not fail
+            // silently.
+            .unwrap_or_else(|e| panic!("pequod-persist: WAL fsync failed: {e}"));
+    }
 }
 
 /// What [`attach`] found and did.

@@ -6,6 +6,7 @@
 //!               [--shards N] [--shard-table PREFIX] [--shard-component C]
 //!               [--data-dir DIR] [--snapshot-every N]
 //!               [--fsync never|always|every:N] [--paranoid]
+//!               [--cluster nodes.toml --node-id N]
 //! ```
 //!
 //! Speaks the length-prefixed binary protocol of `pequod-net`; use
@@ -38,13 +39,59 @@
 //! structures against full recomputation and aborts on the first
 //! disagreement (see `docs/CORRECTNESS.md`). Orders of magnitude
 //! slower — a debugging and qualification mode, not a serving mode.
+//!
+//! `--cluster nodes.toml --node-id N` serves as one member of a
+//! **replicated cluster**: base-table slots are kept on a primary plus
+//! R−1 followers with streamed writes, epoch-based failover, and live
+//! migration (see `docs/REPLICATION.md`). Combine with `--data-dir`
+//! for per-node durability; `--listen` overrides this node's address
+//! from the cluster file (useful for tests with ephemeral ports).
+//!
+//! The server exits cleanly on SIGTERM: it stops accepting
+//! connections, drains in-flight requests, takes a final durability
+//! snapshot, and fsyncs before exiting — a rolling restart loses
+//! nothing even under `--fsync never`.
 
+use pequod::cluster::{ClusterConfig, ClusterServer};
 use pequod::core::partition::ComponentHashPartition;
 use pequod::core::{Client, Engine, EngineConfig, MemoryLimit, ShardedEngine};
 use pequod::persist::{FsyncPolicy, PersistOptions};
 use pequod::store::StoreConfig;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Set by the SIGTERM handler; the main loop polls it and shuts down
+/// gracefully (final WAL fsync + snapshot) when it flips.
+static TERMINATED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_signum: i32) {
+    // Async-signal-safe: a relaxed store on a static atomic.
+    TERMINATED.store(true, Ordering::Relaxed);
+}
+
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    /// libc `signal(2)`. The only FFI in the tree: installing a
+    /// process signal handler has no safe std equivalent.
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+/// Parks the main thread until SIGTERM (or forever if the handler
+/// cannot be installed and the process is killed instead).
+fn wait_for_sigterm() {
+    // SAFETY: `on_sigterm` is async-signal-safe (it only stores to a
+    // static atomic) and `signal` is the libc prototype with matching
+    // ABI; no Rust state is touched from the handler context.
+    unsafe {
+        signal(SIGTERM, on_sigterm);
+    }
+    while !TERMINATED.load(Ordering::Relaxed) {
+        std::thread::park_timeout(std::time::Duration::from_millis(100));
+    }
+    eprintln!("pequod-server: SIGTERM, draining and finalizing");
+}
 
 fn main() {
     let mut listen = "127.0.0.1:7634".to_string();
@@ -57,10 +104,16 @@ fn main() {
     let mut data_dir: Option<PathBuf> = None;
     let mut persist_opts = PersistOptions::default();
     let mut paranoid = false;
+    let mut cluster_file: Option<String> = None;
+    let mut node_id: Option<u32> = None;
+    let mut listen_set = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--listen" => listen = args.next().expect("--listen needs an address"),
+            "--listen" => {
+                listen = args.next().expect("--listen needs an address");
+                listen_set = true;
+            }
             "--join" => joins.push(args.next().expect("--join needs a spec")),
             "--joins-file" => {
                 let path = args.next().expect("--joins-file needs a path");
@@ -119,6 +172,16 @@ fn main() {
                     .unwrap_or_else(|| panic!("bad --fsync {policy:?} (never|always|every:N)"));
             }
             "--paranoid" => paranoid = true,
+            "--cluster" => {
+                cluster_file = Some(args.next().expect("--cluster needs a nodes.toml path"));
+            }
+            "--node-id" => {
+                node_id = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--node-id needs a number"),
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "pequod-server [--listen ADDR] [--join 'SPEC']... \
@@ -126,7 +189,8 @@ fn main() {
                      [--mem-limit-mb N] \
                      [--shards N] [--shard-table PREFIX]... [--shard-component C] \
                      [--data-dir DIR] [--snapshot-every N] \
-                     [--fsync never|always|every:N] [--paranoid]"
+                     [--fsync never|always|every:N] [--paranoid] \
+                     [--cluster nodes.toml --node-id N]"
                 );
                 return;
             }
@@ -174,6 +238,44 @@ fn main() {
                 .map_or("never".to_string(), |n| n.to_string()),
         );
     }
+    if let Some(path) = &cluster_file {
+        let id = node_id.expect("--cluster requires --node-id");
+        assert!(
+            shards == 1,
+            "--cluster serves one engine per node (drop --shards; run more nodes instead)"
+        );
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read cluster file {path}: {e}"));
+        let cluster_cfg =
+            ClusterConfig::parse(&text).unwrap_or_else(|e| panic!("bad cluster file {path}: {e}"));
+        let mut engine = Engine::new(config);
+        if let Some(dir) = &data_dir {
+            let report = pequod::persist::attach(&mut engine, dir, persist_opts)
+                .unwrap_or_else(|e| panic!("cannot recover {}: {e}", dir.display()));
+            eprintln!(
+                "recovered generation {}: {} snapshot pairs + {} logged records",
+                report.generation, report.snapshot_pairs, report.wal_records,
+            );
+        }
+        install(&mut engine);
+        eprintln!(
+            "replicated cluster node {id} of {} (replication {}, {} slots)",
+            cluster_cfg.nodes.len(),
+            cluster_cfg.replication,
+            cluster_cfg.slots,
+        );
+        let addr_override = if listen_set {
+            Some(listen.as_str())
+        } else {
+            None
+        };
+        let mut server = ClusterServer::spawn(cluster_cfg, id, engine, addr_override)
+            .unwrap_or_else(|e| panic!("cannot serve cluster node {id}: {e}"));
+        eprintln!("pequod-server listening on {}", server.addr());
+        wait_for_sigterm();
+        server.halt();
+        return;
+    }
     let server = if shards > 1 {
         if shard_tables.is_empty() {
             shard_tables = vec!["p|".to_string(), "s|".to_string()];
@@ -220,9 +322,10 @@ fn main() {
         pequod::net::TcpServer::spawn(&*listen, engine)
     }
     .unwrap_or_else(|e| panic!("cannot listen on {listen}: {e}"));
+    let mut server = server;
     eprintln!("pequod-server listening on {}", server.addr());
-    // Serve until killed.
-    loop {
-        std::thread::park();
-    }
+    // Serve until SIGTERM, then drain and finalize durability so a
+    // rolling restart loses nothing.
+    wait_for_sigterm();
+    server.shutdown_finalize();
 }

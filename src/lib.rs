@@ -75,6 +75,7 @@
 #![forbid(unsafe_code)]
 
 pub use pequod_baselines as baselines;
+pub use pequod_cluster as cluster;
 pub use pequod_core as core;
 pub use pequod_db as db;
 pub use pequod_join as join;

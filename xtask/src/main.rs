@@ -62,6 +62,7 @@ const ROOTS: &[(&str, CrateRules)] = &[
     ("crates/core/src", CrateRules::serving()),
     ("crates/persist/src", CrateRules::serving()),
     ("crates/net/src", CrateRules::serving().with_lock_io()),
+    ("crates/cluster/src", CrateRules::serving().with_lock_io()),
     ("crates/db/src", CrateRules::deterministic()),
     ("crates/baselines/src", CrateRules::deterministic()),
     ("src", CrateRules::deterministic()),
