@@ -31,7 +31,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Logical-clock granularity of the ticker thread, ms.
@@ -52,6 +52,11 @@ enum Event {
     Stop(bool, Sender<()>),
 }
 
+/// Accepted connections: a duplicated stream (to sever on halt) plus
+/// the reader thread's handle (to join), so `halt()` is deterministic —
+/// no reader services traffic after it returns.
+type ReaderRegistry = Arc<Mutex<Vec<(TcpStream, JoinHandle<()>)>>>;
+
 /// A running replicated node.
 pub struct ClusterServer {
     addr: SocketAddr,
@@ -62,6 +67,7 @@ pub struct ClusterServer {
     loop_thread: Option<JoinHandle<()>>,
     accept_thread: Option<JoinHandle<()>>,
     ticker_thread: Option<JoinHandle<()>>,
+    readers: ReaderRegistry,
 }
 
 impl ClusterServer {
@@ -106,8 +112,10 @@ impl ClusterServer {
         }
 
         // Accept thread: classify connections by their first frame.
+        let readers: ReaderRegistry = Arc::new(Mutex::new(Vec::new()));
         let accept_tx = tx.clone();
         let accept_stop = stop.clone();
+        let accept_readers = readers.clone();
         let accept_thread = std::thread::spawn(move || {
             let mut next_client: u64 = 1;
             for conn in listener.incoming() {
@@ -115,10 +123,21 @@ impl ClusterServer {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
+                // Register before serving: a connection that cannot be
+                // severed on halt must not be served at all.
+                let Ok(sever) = stream.try_clone() else {
+                    continue;
+                };
                 let id = next_client;
                 next_client += 1;
                 let reader_tx = accept_tx.clone();
-                std::thread::spawn(move || read_connection(id, stream, reader_tx));
+                let handle = std::thread::spawn(move || read_connection(id, stream, reader_tx));
+                let mut reg = match accept_readers.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                reg.retain(|(_, h)| !h.is_finished());
+                reg.push((sever, handle));
             }
         });
 
@@ -149,6 +168,7 @@ impl ClusterServer {
             loop_thread: Some(loop_thread),
             accept_thread: Some(accept_thread),
             ticker_thread: Some(ticker_thread),
+            readers,
         })
     }
 
@@ -186,6 +206,21 @@ impl ClusterServer {
         }
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+        // The accept loop has exited, so the registry is complete:
+        // sever every accepted connection and join its reader, so no
+        // connection — even one accepted concurrently with the halt —
+        // is serviced after this returns.
+        let held: Vec<(TcpStream, JoinHandle<()>)> = {
+            let mut reg = match self.readers.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            reg.drain(..).collect()
+        };
+        for (stream, handle) in held {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            let _ = handle.join();
         }
         if let Some(t) = self.ticker_thread.take() {
             let _ = t.join();

@@ -80,5 +80,8 @@ pub use client::{BackendStats, Client, Command, Response};
 pub use config::{EngineConfig, EngineStats, MaterializationMode, MemoryLimit};
 pub use durable::{Durability, DurableOp};
 pub use engine::{BaseAuthority, Engine, EvictUnit, JS_RANGE_OVERHEAD_BYTES};
-pub use sharded::{ShardStats, ShardedEngine, ShardedHandle};
+pub use sharded::{
+    fold_join_replies, fold_stats_replies, same_run_class, ShardStats, ShardSubmitter,
+    ShardedEngine, ShardedHandle,
+};
 pub use types::{CountResult, EngineError, JoinId, JsId, ScanResult, WriteKind};

@@ -72,6 +72,7 @@ const _: () = {
     assert_send::<Engine>();
     assert_send::<ShardMsg>();
     assert_send_sync::<ShardedHandle>();
+    assert_send_sync::<ShardSubmitter>();
 };
 
 /// A message delivered to one shard's mailbox. `Run` comes from
@@ -525,6 +526,52 @@ fn class_of(command: &Command) -> CommandClass {
     }
 }
 
+/// Whether two commands may share one pipelined run without changing
+/// observable results (the run-splitting rule of
+/// [`ShardedHandle::execute_batch`], exported so the event-driven
+/// network frontend splits batches identically).
+pub fn same_run_class(a: &Command, b: &Command) -> bool {
+    class_of(a) == class_of(b)
+}
+
+/// Folds the per-shard replies to a broadcast `AddJoin` into one
+/// response: `Ok` only if every shard installed the join, otherwise the
+/// first error. Shared by the blocking [`ShardedHandle`] and the
+/// event-driven frontend so both paths answer byte-identically.
+pub fn fold_join_replies(replies: Vec<Response>, shards: usize) -> Response {
+    if replies.len() < shards {
+        return Response::Error(format!(
+            "addjoin: {} of {shards} shards replied",
+            replies.len()
+        ));
+    }
+    match replies
+        .into_iter()
+        .find(|r| matches!(r, Response::Error(_)))
+    {
+        Some(err) => err,
+        None => Response::Ok,
+    }
+}
+
+/// Folds the per-shard replies to a broadcast `Stats` into one summed
+/// [`BackendStats`]. Shared like [`fold_join_replies`].
+pub fn fold_stats_replies(replies: Vec<Response>, shards: usize) -> Response {
+    if replies.len() < shards {
+        return Response::Error(format!(
+            "stats: {} of {shards} shards replied",
+            replies.len()
+        ));
+    }
+    let mut total = BackendStats::default();
+    for r in replies {
+        if let Response::Stats(s) = r {
+            total += s;
+        }
+    }
+    Response::Stats(total)
+}
+
 /// How many replies one command slot expects, and how to fold them.
 enum Slot {
     /// One shard answers (reads and writes).
@@ -649,36 +696,10 @@ impl ShardedHandle {
                     .and_then(|mut v| v.pop())
                     .unwrap_or_else(|| Response::Error("no reply from shard".into())),
                 Slot::Join { id, shards } => {
-                    let replies = by_id.remove(&id).unwrap_or_default();
-                    if replies.len() < shards {
-                        return Response::Error(format!(
-                            "addjoin: {} of {shards} shards replied",
-                            replies.len()
-                        ));
-                    }
-                    match replies
-                        .into_iter()
-                        .find(|r| matches!(r, Response::Error(_)))
-                    {
-                        Some(err) => err,
-                        None => Response::Ok,
-                    }
+                    fold_join_replies(by_id.remove(&id).unwrap_or_default(), shards)
                 }
                 Slot::Stats { id, shards } => {
-                    let replies = by_id.remove(&id).unwrap_or_default();
-                    if replies.len() < shards {
-                        return Response::Error(format!(
-                            "stats: {} of {shards} shards replied",
-                            replies.len()
-                        ));
-                    }
-                    let mut total = BackendStats::default();
-                    for r in replies {
-                        if let Response::Stats(s) = r {
-                            total += s;
-                        }
-                    }
-                    Response::Stats(total)
+                    fold_stats_replies(by_id.remove(&id).unwrap_or_default(), shards)
                 }
             })
             .collect()
@@ -706,6 +727,79 @@ impl Client for ShardedHandle {
             responses.extend(self.execute_run(run));
         }
         responses
+    }
+}
+
+/// A non-blocking, cloneable submission surface over the per-shard
+/// command queues. Where a [`ShardedHandle`] parks the calling thread
+/// until every reply arrives, a `ShardSubmitter` only enqueues: replies
+/// come back asynchronously on the caller's channel, tagged with the
+/// caller-chosen id. The event-driven network frontend serves every
+/// connection through one shared submitter instead of cloning a handle
+/// per connection, so accepting ten thousand sockets allocates no
+/// per-connection engine state and never blocks the reactor thread.
+///
+/// Ordering contract: submissions from one thread to one shard are
+/// executed in submission order (each shard is a FIFO mailbox), but
+/// replies across shards arrive in any order. Callers that need
+/// read-your-writes must wait for a run's replies before submitting a
+/// dependent run, exactly like [`ShardedHandle::execute_batch`]'s run
+/// splitting (see [`same_run_class`]).
+#[derive(Clone)]
+pub struct ShardSubmitter {
+    senders: Arc<Vec<Sender<ShardMsg>>>,
+    partition: Arc<dyn Partition>,
+}
+
+impl ShardSubmitter {
+    /// Number of shards behind this submitter.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The shard that executes `command`, or `None` for broadcast
+    /// commands (`AddJoin`, `Stats`) that every shard must see.
+    pub fn route(&self, command: &Command) -> Option<usize> {
+        match command {
+            Command::Get(key) | Command::Put(key, _) | Command::Remove(key) => {
+                Some(self.home_shard(key))
+            }
+            Command::Scan(range) | Command::Count(range) => Some(self.home_shard(&range.first)),
+            Command::AddJoin(_) | Command::Stats => None,
+        }
+    }
+
+    fn home_shard(&self, key: &Key) -> usize {
+        self.partition.home_of(key).0 as usize % self.senders.len()
+    }
+
+    /// Enqueues a run of commands on one shard. Exactly one
+    /// `(id, Response)` per item arrives on `reply`, in any order.
+    pub fn submit(
+        &self,
+        shard: usize,
+        items: Vec<(u64, Command)>,
+        reply: &Sender<(u64, Response)>,
+    ) {
+        if items.is_empty() {
+            return;
+        }
+        let _ = self.senders[shard % self.senders.len()].send(ShardMsg::Run {
+            items,
+            reply: reply.clone(),
+        });
+    }
+
+    /// Enqueues a broadcast command on every shard under one id;
+    /// [`shards`](Self::shards) replies arrive on `reply`. Fold them
+    /// with [`fold_join_replies`] / [`fold_stats_replies`].
+    pub fn broadcast(&self, id: u64, command: Command, reply: &Sender<(u64, Response)>) {
+        for sender in self.senders.iter() {
+            let _ = sender.send(ShardMsg::Run {
+                items: vec![(id, command.clone())],
+                reply: reply.clone(),
+            });
+        }
     }
 }
 
@@ -930,6 +1024,15 @@ impl ShardedEngine {
         let mut h = self.handle.clone();
         h.next_id = 1;
         h
+    }
+
+    /// A non-blocking [`ShardSubmitter`] over this engine's shard
+    /// queues — the event-driven network frontend's submission surface.
+    pub fn submitter(&self) -> ShardSubmitter {
+        ShardSubmitter {
+            senders: self.handle.senders.clone(),
+            partition: self.handle.partition.clone(),
+        }
     }
 
     /// Counters of one shard (subscriptions, notifications, parks).

@@ -520,6 +520,45 @@ pub fn decode_frame(buf: &mut BytesMut) -> Result<Option<Message>, CodecError> {
     decode(&body).map(Some)
 }
 
+/// An incremental frame decoder: feed it bytes as they arrive off a
+/// socket (in chunks of any size, down to one byte at a time) and pull
+/// complete messages out. This is the decoder behind the event-driven
+/// reactor's read path; it is exactly as strict as the one-shot
+/// [`decode_frame`] it wraps, a property the `codec_roundtrip` suite
+/// checks across arbitrary split points.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    /// An empty decoder. Allocates nothing until bytes arrive, so an
+    /// idle connection costs no buffer memory.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder {
+            buf: BytesMut::new(),
+        }
+    }
+
+    /// Appends freshly read bytes to the stream.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Splits the next complete frame off the stream, if one has fully
+    /// arrived. An `Err` poisons nothing — the caller decides whether
+    /// to close — but the byte stream is no longer meaningful after a
+    /// framing error, so servers answer with one error frame and close.
+    pub fn next_frame(&mut self) -> Result<Option<Message>, CodecError> {
+        decode_frame(&mut self.buf)
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

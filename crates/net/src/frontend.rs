@@ -1,0 +1,751 @@
+//! The event-driven network frontend: the [`Reactor`] readiness loop
+//! plus a backend dispatcher, serving the client protocol on TCP and
+//! (optionally) a unix-domain socket through identical code.
+//!
+//! Two backends, mirroring the blocking [`TcpServer`](crate::TcpServer):
+//!
+//! * **Single engine** — a fixed worker pool shares one
+//!   `Arc<Mutex<Engine>>`. The reactor thread never touches the engine,
+//!   so a heavy scan on a worker cannot stall accepts, timeouts, or
+//!   other connections' I/O.
+//! * **Sharded engine** — no worker pool at all: the dispatcher routes
+//!   commands straight onto the engine's per-shard submission queues
+//!   through one shared [`ShardSubmitter`], replacing the blocking
+//!   server's handle-per-connection design. Batch frames are split into
+//!   same-class runs exactly like
+//!   [`ShardedHandle::execute_batch`](pequod_core::ShardedHandle) — a
+//!   run's replies must all arrive before the next run is submitted, so
+//!   read-your-writes ordering matches the blocking path and answers
+//!   are byte-identical.
+//!
+//! Per connection, frames are answered strictly in arrival order; see
+//! the [`reactor`](crate::reactor) module docs for the pipelining,
+//! backpressure, and timeout rules.
+
+use crate::message::Message;
+use crate::reactor::{Dispatch, Injected, Reactor, ReactorConfig};
+use crate::tcp::{handle_client_message, response_to_message};
+use pequod_core::{
+    fold_join_replies, fold_stats_replies, same_run_class, Command, Engine, Response,
+    ShardSubmitter, ShardedEngine,
+};
+use pequod_store::Key;
+use std::collections::{HashMap, VecDeque};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Serving counters, updated live by the reactor; read them with
+/// [`FrontendStats::snapshot`] (or via
+/// [`FrontendServer::stats`]).
+#[derive(Default)]
+pub struct FrontendStats {
+    /// Connections accepted over the server's lifetime (both surfaces).
+    pub accepted: AtomicU64,
+    /// Currently open connections.
+    pub active: AtomicU64,
+    /// Request frames decoded.
+    pub frames_in: AtomicU64,
+    /// Reply frames queued for writing.
+    pub replies_out: AtomicU64,
+    /// Bytes read off client sockets.
+    pub bytes_in: AtomicU64,
+    /// Bytes written to client sockets.
+    pub bytes_out: AtomicU64,
+    /// Times a connection's read interest was dropped because its
+    /// write or pending queue hit the cap.
+    pub backpressure_pauses: AtomicU64,
+    /// Connections closed by the idle timeout.
+    pub idle_closed: AtomicU64,
+    /// Connections closed by the write-stall (slow reader) timeout.
+    pub stall_closed: AtomicU64,
+    /// Connections poisoned by a framing error.
+    pub codec_errors: AtomicU64,
+}
+
+/// A point-in-time copy of [`FrontendStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrontendStatsSnapshot {
+    /// See [`FrontendStats::accepted`].
+    pub accepted: u64,
+    /// See [`FrontendStats::active`].
+    pub active: u64,
+    /// See [`FrontendStats::frames_in`].
+    pub frames_in: u64,
+    /// See [`FrontendStats::replies_out`].
+    pub replies_out: u64,
+    /// See [`FrontendStats::bytes_in`].
+    pub bytes_in: u64,
+    /// See [`FrontendStats::bytes_out`].
+    pub bytes_out: u64,
+    /// See [`FrontendStats::backpressure_pauses`].
+    pub backpressure_pauses: u64,
+    /// See [`FrontendStats::idle_closed`].
+    pub idle_closed: u64,
+    /// See [`FrontendStats::stall_closed`].
+    pub stall_closed: u64,
+    /// See [`FrontendStats::codec_errors`].
+    pub codec_errors: u64,
+}
+
+impl FrontendStats {
+    /// Reads every counter (relaxed; counters are advisory).
+    pub fn snapshot(&self) -> FrontendStatsSnapshot {
+        FrontendStatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            replies_out: self.replies_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            backpressure_pauses: self.backpressure_pauses.load(Ordering::Relaxed),
+            idle_closed: self.idle_closed.load(Ordering::Relaxed),
+            stall_closed: self.stall_closed.load(Ordering::Relaxed),
+            codec_errors: self.codec_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Tuning for a [`FrontendServer`]. `Default` is production-shaped;
+/// tests shrink the timeouts and caps to exercise them quickly.
+#[derive(Clone, Debug)]
+pub struct FrontendConfig {
+    /// Worker threads for the single-engine backend (`0` = auto:
+    /// available parallelism clamped to `2..=8`). The sharded backend
+    /// uses the engine's own shard threads instead.
+    pub workers: usize,
+    /// Per-connection cap on buffered reply bytes; above it the
+    /// connection's reads pause (backpressure) and dispatch of its
+    /// further pipelined frames waits.
+    pub max_write_buffer: usize,
+    /// Per-connection cap on decoded-but-undispatched frames.
+    pub max_pipeline: usize,
+    /// Close a connection with no traffic in either direction for this
+    /// long (`None` = never; clients may legitimately idle).
+    pub idle_timeout_ms: Option<u64>,
+    /// Close a connection whose replies have made no write progress for
+    /// this long — a slow or stopped reader holding buffer memory.
+    pub stall_timeout_ms: Option<u64>,
+    /// Logical-clock granularity: timeouts are rounded up to whole
+    /// ticks.
+    pub tick_ms: u64,
+    /// Also serve on this unix-domain socket path. A stale socket file
+    /// at the path is removed first; the file is removed again on
+    /// shutdown.
+    pub unix_path: Option<PathBuf>,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> FrontendConfig {
+        FrontendConfig {
+            workers: 0,
+            max_write_buffer: 256 * 1024,
+            max_pipeline: 128,
+            idle_timeout_ms: None,
+            stall_timeout_ms: Some(30_000),
+            tick_ms: 100,
+            unix_path: None,
+        }
+    }
+}
+
+/// The serving backend behind a [`FrontendServer`].
+enum Backend {
+    Single(Arc<Mutex<Engine>>),
+    Sharded(Arc<ShardedEngine>),
+}
+
+/// One frame for the single-engine worker pool.
+struct WorkItem {
+    token: u64,
+    msg: Message,
+}
+
+/// Pushes one injection and wakes the reactor.
+fn inject(q: &Mutex<VecDeque<Injected>>, wake: &UnixStream, inj: Injected) {
+    match q.lock() {
+        Ok(mut g) => g.push_back(inj),
+        Err(p) => p.into_inner().push_back(inj),
+    }
+    wake_reactor(wake);
+}
+
+/// One byte on the wakeup pipe; the payload is meaningless.
+fn wake_reactor(wake: &UnixStream) {
+    let _ = (&*wake).write(&[1u8]);
+}
+
+/// Single-engine dispatch: frames go to the worker pool, completions
+/// come back through the injection queue.
+struct SingleDispatch {
+    work_tx: Sender<WorkItem>,
+}
+
+impl Dispatch for SingleDispatch {
+    fn begin(&mut self, token: u64, msg: Message) -> Option<Vec<Message>> {
+        match self.work_tx.send(WorkItem { token, msg }) {
+            Ok(()) => None,
+            // Workers are gone (shutdown in progress): nothing will
+            // answer; clear the in-flight mark so teardown can drain.
+            Err(_) => Some(Vec::new()),
+        }
+    }
+
+    fn on_shard_reply(&mut self, _id: u64, _resp: Response) -> Option<(u64, Vec<Message>)> {
+        None
+    }
+
+    fn forget(&mut self, _token: u64) {}
+}
+
+fn single_worker_loop(
+    rx: Arc<Mutex<Receiver<WorkItem>>>,
+    engine: Arc<Mutex<Engine>>,
+    injected: Arc<Mutex<VecDeque<Injected>>>,
+    wake: UnixStream,
+) {
+    loop {
+        let item = match rx.lock() {
+            Ok(g) => g.recv(),
+            Err(p) => p.into_inner().recv(),
+        };
+        let Ok(WorkItem { token, msg }) = item else {
+            break; // channel closed: the reactor is gone
+        };
+        let replies = handle_client_message(&engine, msg);
+        inject(&injected, &wake, Injected::Done(token, replies));
+    }
+}
+
+/// How a sharded slot folds its replies.
+enum SlotKind {
+    /// One shard answers.
+    Single,
+    /// Broadcast join install: every shard answers.
+    Join,
+    /// Broadcast stats: every shard answers, counters are summed.
+    Stats,
+}
+
+/// One sub-request of a frame on the sharded backend.
+struct SlotState {
+    wire_id: u64,
+    /// The key a `Get` reply echoes.
+    key: Option<Key>,
+    /// The command, until its run is submitted.
+    cmd: Option<Command>,
+    kind: SlotKind,
+    /// Replies still expected for the current submission.
+    expect: usize,
+    acc: Vec<Response>,
+    reply: Option<Message>,
+}
+
+/// One in-progress frame on the sharded backend: slots in wire order,
+/// remaining same-class runs, and the count of unresolved submissions
+/// in the current run.
+struct Job {
+    token: u64,
+    slots: Vec<SlotState>,
+    runs: VecDeque<Vec<usize>>,
+    outstanding: usize,
+    /// Submission ids of the current run, for cleanup on disconnect.
+    live_ids: Vec<u64>,
+}
+
+/// Submits `run`'s commands onto the per-shard queues. Returns how many
+/// submissions were made.
+fn submit_run(
+    submitter: &ShardSubmitter,
+    reply_tx: &Sender<(u64, Response)>,
+    id_map: &mut HashMap<u64, (u64, usize)>,
+    next_id: &mut u64,
+    job: &mut Job,
+    run: Vec<usize>,
+) -> usize {
+    let shards = submitter.shards();
+    let mut per_shard: Vec<Vec<(u64, Command)>> = vec![Vec::new(); shards];
+    let mut submitted = 0usize;
+    job.live_ids.clear();
+    for si in run {
+        let slot = &mut job.slots[si];
+        let Some(cmd) = slot.cmd.take() else {
+            continue;
+        };
+        let sid = *next_id;
+        *next_id += 1;
+        id_map.insert(sid, (job.token, si));
+        job.live_ids.push(sid);
+        match submitter.route(&cmd) {
+            Some(shard) => {
+                slot.expect = 1;
+                per_shard[shard].push((sid, cmd));
+            }
+            None => {
+                slot.expect = shards;
+                submitter.broadcast(sid, cmd, reply_tx);
+            }
+        }
+        submitted += 1;
+    }
+    for (shard, items) in per_shard.into_iter().enumerate() {
+        submitter.submit(shard, items, reply_tx);
+    }
+    job.outstanding += submitted;
+    submitted
+}
+
+/// Sharded dispatch: the run-at-a-time state machine over the engine's
+/// per-shard submission queues. All calls happen on the reactor thread;
+/// shard replies are fed back in via [`Injected::Shard`].
+struct ShardedDispatch {
+    submitter: ShardSubmitter,
+    reply_tx: Sender<(u64, Response)>,
+    /// Connection token → its one in-progress frame (the reactor
+    /// dispatches at most one frame per connection at a time).
+    jobs: HashMap<u64, Job>,
+    /// Submission id → (token, slot index).
+    id_map: HashMap<u64, (u64, usize)>,
+    next_id: u64,
+}
+
+impl ShardedDispatch {
+    fn new(submitter: ShardSubmitter, reply_tx: Sender<(u64, Response)>) -> ShardedDispatch {
+        ShardedDispatch {
+            submitter,
+            reply_tx,
+            jobs: HashMap::new(),
+            id_map: HashMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Collects a finished job's replies in wire order.
+    fn finish(job: Job) -> Vec<Message> {
+        job.slots
+            .into_iter()
+            .map(|s| {
+                s.reply
+                    .unwrap_or_else(|| Message::error(s.wire_id, "no reply from shard"))
+            })
+            .collect()
+    }
+}
+
+impl Dispatch for ShardedDispatch {
+    fn begin(&mut self, token: u64, msg: Message) -> Option<Vec<Message>> {
+        let msgs = match msg {
+            Message::Batch { msgs } => msgs,
+            other => vec![other],
+        };
+        let mut job = Job {
+            token,
+            slots: Vec::with_capacity(msgs.len()),
+            runs: VecDeque::new(),
+            outstanding: 0,
+            live_ids: Vec::new(),
+        };
+        // Build slots in wire order, splitting commands into
+        // same-class runs (identical to the blocking handle).
+        let mut current: Vec<usize> = Vec::new();
+        let mut last_cmd: Option<Command> = None;
+        for m in msgs {
+            let (wire_id, key, cmd) = match m {
+                Message::Get { id, key } => (id, Some(key.clone()), Command::Get(key)),
+                Message::Scan { id, range } => (id, None, Command::Scan(range)),
+                Message::Count { id, range } => (id, None, Command::Count(range)),
+                Message::Put { id, key, value } => (id, None, Command::Put(key, value)),
+                Message::Remove { id, key } => (id, None, Command::Remove(key)),
+                Message::AddJoin { id, text } => (id, None, Command::AddJoin(text)),
+                // Server-to-server traffic is not accepted on the
+                // client port (same answer as the blocking server).
+                other => {
+                    job.slots.push(SlotState {
+                        wire_id: 0,
+                        key: None,
+                        cmd: None,
+                        kind: SlotKind::Single,
+                        expect: 0,
+                        acc: Vec::new(),
+                        reply: Some(Message::error(
+                            other.id().unwrap_or(0),
+                            "unsupported on client connection",
+                        )),
+                    });
+                    continue;
+                }
+            };
+            if let Some(prev) = &last_cmd {
+                if !same_run_class(prev, &cmd) && !current.is_empty() {
+                    job.runs.push_back(std::mem::take(&mut current));
+                }
+            }
+            let kind = match &cmd {
+                Command::AddJoin(_) => SlotKind::Join,
+                Command::Stats => SlotKind::Stats,
+                _ => SlotKind::Single,
+            };
+            last_cmd = Some(cmd.clone());
+            current.push(job.slots.len());
+            job.slots.push(SlotState {
+                wire_id,
+                key,
+                cmd: Some(cmd),
+                kind,
+                expect: 0,
+                acc: Vec::new(),
+                reply: None,
+            });
+        }
+        if !current.is_empty() {
+            job.runs.push_back(current);
+        }
+        // Submit runs until one actually lands on a shard (a run can be
+        // empty of submittable commands only if all were pre-resolved).
+        while job.outstanding == 0 {
+            let Some(run) = job.runs.pop_front() else {
+                break;
+            };
+            submit_run(
+                &self.submitter,
+                &self.reply_tx,
+                &mut self.id_map,
+                &mut self.next_id,
+                &mut job,
+                run,
+            );
+        }
+        if job.outstanding == 0 {
+            return Some(Self::finish(job));
+        }
+        self.jobs.insert(token, job);
+        None
+    }
+
+    fn on_shard_reply(&mut self, id: u64, resp: Response) -> Option<(u64, Vec<Message>)> {
+        let Some(&(token, si)) = self.id_map.get(&id) else {
+            return None; // reply for a disconnected client
+        };
+        let Some(job) = self.jobs.get_mut(&token) else {
+            self.id_map.remove(&id);
+            return None;
+        };
+        {
+            let slot = &mut job.slots[si];
+            slot.acc.push(resp);
+            if slot.acc.len() < slot.expect {
+                return None;
+            }
+            // Slot resolved: fold and format exactly like the blocking
+            // server so answers are byte-identical.
+            let shards = slot.expect;
+            let acc = std::mem::take(&mut slot.acc);
+            let folded = match slot.kind {
+                SlotKind::Single => acc
+                    .into_iter()
+                    .next_back()
+                    .unwrap_or_else(|| Response::Error("no reply from shard".into())),
+                SlotKind::Join => fold_join_replies(acc, shards),
+                SlotKind::Stats => fold_stats_replies(acc, shards),
+            };
+            slot.reply = Some(response_to_message(slot.wire_id, slot.key.take(), folded));
+        }
+        self.id_map.remove(&id);
+        job.outstanding -= 1;
+        if job.outstanding > 0 {
+            return None;
+        }
+        // Current run complete: submit the next one, if any.
+        while job.outstanding == 0 {
+            let Some(run) = job.runs.pop_front() else {
+                break;
+            };
+            submit_run(
+                &self.submitter,
+                &self.reply_tx,
+                &mut self.id_map,
+                &mut self.next_id,
+                job,
+                run,
+            );
+        }
+        if job.outstanding > 0 {
+            return None;
+        }
+        let job = self.jobs.remove(&token)?;
+        Some((token, Self::finish(job)))
+    }
+
+    fn forget(&mut self, token: u64) {
+        if let Some(job) = self.jobs.remove(&token) {
+            for sid in job.live_ids {
+                self.id_map.remove(&sid);
+            }
+        }
+    }
+}
+
+/// Forwards shard replies from the submission channel into the
+/// reactor's injection queue, batching opportunistically so one wakeup
+/// byte covers a burst.
+fn collector_loop(
+    rx: Receiver<(u64, Response)>,
+    injected: Arc<Mutex<VecDeque<Injected>>>,
+    wake: UnixStream,
+) {
+    // recv() errs once every sender is dropped: shutdown.
+    while let Ok((id, resp)) = rx.recv() {
+        match injected.lock() {
+            Ok(mut g) => {
+                g.push_back(Injected::Shard(id, resp));
+                while let Ok((id, resp)) = rx.try_recv() {
+                    g.push_back(Injected::Shard(id, resp));
+                }
+            }
+            Err(p) => p.into_inner().push_back(Injected::Shard(id, resp)),
+        }
+        wake_reactor(&wake);
+    }
+}
+
+/// Injects a tick every `tick_ms` until stopped: the reactor's only
+/// clock (no wall-clock reads on the serving path).
+fn ticker_loop(
+    stopped: Arc<AtomicBool>,
+    tick_ms: u64,
+    injected: Arc<Mutex<VecDeque<Injected>>>,
+    wake: UnixStream,
+) {
+    while !stopped.load(Ordering::Relaxed) {
+        std::thread::sleep(std::time::Duration::from_millis(tick_ms.max(1)));
+        inject(&injected, &wake, Injected::Tick);
+    }
+}
+
+/// A running event-driven server: the reactor thread, its backend
+/// threads, and a deterministic [`shutdown`](FrontendServer::shutdown).
+///
+/// ```no_run
+/// use pequod_core::{Engine, EngineConfig};
+/// use pequod_net::{FrontendConfig, FrontendServer};
+/// let engine = Engine::new(EngineConfig::default());
+/// let mut server =
+///     FrontendServer::spawn("127.0.0.1:0", engine, FrontendConfig::default()).unwrap();
+/// println!("serving on {}", server.addr());
+/// server.shutdown();
+/// ```
+pub struct FrontendServer {
+    addr: SocketAddr,
+    unix_path: Option<PathBuf>,
+    backend: Backend,
+    injected: Arc<Mutex<VecDeque<Injected>>>,
+    wake_tx: UnixStream,
+    stopped: Arc<AtomicBool>,
+    stats: Arc<FrontendStats>,
+    reactor_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    collector: Option<JoinHandle<()>>,
+    ticker: Option<JoinHandle<()>>,
+}
+
+impl FrontendServer {
+    /// Serves one single-threaded [`Engine`] (behind a mutex shared by
+    /// the worker pool) on `addr`; port 0 binds an ephemeral port.
+    pub fn spawn(
+        addr: impl ToSocketAddrs,
+        engine: Engine,
+        cfg: FrontendConfig,
+    ) -> std::io::Result<FrontendServer> {
+        Self::spawn_backend(addr, Backend::Single(Arc::new(Mutex::new(engine))), cfg)
+    }
+
+    /// Serves a [`ShardedEngine`] on `addr` through its per-shard
+    /// submission queues (no per-connection handles, no worker pool).
+    pub fn spawn_sharded(
+        addr: impl ToSocketAddrs,
+        sharded: ShardedEngine,
+        cfg: FrontendConfig,
+    ) -> std::io::Result<FrontendServer> {
+        Self::spawn_backend(addr, Backend::Sharded(Arc::new(sharded)), cfg)
+    }
+
+    fn spawn_backend(
+        addr: impl ToSocketAddrs,
+        backend: Backend,
+        cfg: FrontendConfig,
+    ) -> std::io::Result<FrontendServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let unix = match &cfg.unix_path {
+            Some(p) => {
+                let _ = std::fs::remove_file(p);
+                Some(UnixListener::bind(p)?)
+            }
+            None => None,
+        };
+        let injected: Arc<Mutex<VecDeque<Injected>>> = Arc::new(Mutex::new(VecDeque::new()));
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        let stats = Arc::new(FrontendStats::default());
+        let mut workers = Vec::new();
+        let mut collector = None;
+        let dispatch: Box<dyn Dispatch> = match &backend {
+            Backend::Single(engine) => {
+                let (tx, rx) = channel::<WorkItem>();
+                let rx = Arc::new(Mutex::new(rx));
+                let n = if cfg.workers == 0 {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(2)
+                        .clamp(2, 8)
+                } else {
+                    cfg.workers
+                };
+                for _ in 0..n {
+                    let rx = rx.clone();
+                    let engine = engine.clone();
+                    let injected = injected.clone();
+                    let wake = wake_tx.try_clone()?;
+                    workers.push(std::thread::spawn(move || {
+                        single_worker_loop(rx, engine, injected, wake);
+                    }));
+                }
+                Box::new(SingleDispatch { work_tx: tx })
+            }
+            Backend::Sharded(sharded) => {
+                let (tx, rx) = channel::<(u64, Response)>();
+                let injected_c = injected.clone();
+                let wake = wake_tx.try_clone()?;
+                collector = Some(std::thread::spawn(move || {
+                    collector_loop(rx, injected_c, wake);
+                }));
+                Box::new(ShardedDispatch::new(sharded.submitter(), tx))
+            }
+        };
+        let tick_ms = cfg.tick_ms.max(1);
+        let to_ticks = |ms: Option<u64>| ms.map(|m| m.div_ceil(tick_ms).max(1));
+        let rcfg = ReactorConfig {
+            max_write_buffer: cfg.max_write_buffer.max(1),
+            max_pipeline: cfg.max_pipeline.max(1),
+            idle_timeout_ticks: to_ticks(cfg.idle_timeout_ms),
+            stall_timeout_ticks: to_ticks(cfg.stall_timeout_ms),
+        };
+        let reactor = Reactor::new(
+            listener,
+            unix,
+            injected.clone(),
+            wake_rx,
+            dispatch,
+            rcfg,
+            stats.clone(),
+        )?;
+        let reactor_thread = Some(std::thread::spawn(move || reactor.run()));
+        let stopped = Arc::new(AtomicBool::new(false));
+        let ticker = {
+            let stopped = stopped.clone();
+            let injected = injected.clone();
+            let wake = wake_tx.try_clone()?;
+            Some(std::thread::spawn(move || {
+                ticker_loop(stopped, tick_ms, injected, wake);
+            }))
+        };
+        Ok(FrontendServer {
+            addr,
+            unix_path: cfg.unix_path,
+            backend,
+            injected,
+            wake_tx,
+            stopped,
+            stats,
+            reactor_thread,
+            workers,
+            collector,
+            ticker,
+        })
+    }
+
+    /// The bound TCP address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The unix-domain socket path, when one is being served.
+    pub fn unix_path(&self) -> Option<&std::path::Path> {
+        self.unix_path.as_deref()
+    }
+
+    /// Live serving counters.
+    pub fn stats(&self) -> FrontendStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Shared access to the single-engine backend; `None` when serving
+    /// a [`ShardedEngine`].
+    pub fn engine(&self) -> Option<Arc<Mutex<Engine>>> {
+        match &self.backend {
+            Backend::Single(e) => Some(e.clone()),
+            Backend::Sharded(_) => None,
+        }
+    }
+
+    /// The sharded backend, when serving one.
+    pub fn sharded(&self) -> Option<Arc<ShardedEngine>> {
+        match &self.backend {
+            Backend::Single(_) => None,
+            Backend::Sharded(s) => Some(s.clone()),
+        }
+    }
+
+    /// Deterministic stop: once this returns, no connection will be
+    /// served another byte — accepted-but-unserved connections are
+    /// refused (closed), in-flight frames are abandoned, and every
+    /// frontend thread has exited.
+    pub fn shutdown(&mut self) {
+        let Some(reactor) = self.reactor_thread.take() else {
+            return; // already stopped
+        };
+        self.stopped.store(true, Ordering::Relaxed);
+        inject(&self.injected, &self.wake_tx, Injected::Stop);
+        let _ = reactor.join();
+        // The reactor dropped its dispatcher: the worker channel and
+        // the shard reply channel are now closing, so these joins
+        // terminate.
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(c) = self.collector.take() {
+            let _ = c.join();
+        }
+        if let Some(t) = self.ticker.take() {
+            let _ = t.join();
+        }
+        if let Some(p) = &self.unix_path {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    /// Graceful shutdown plus a final durability snapshot + fsync on
+    /// the backend (a no-op without attached persistence) — the
+    /// SIGTERM path of `pequod-server`.
+    pub fn shutdown_finalize(&mut self) {
+        self.shutdown();
+        match &self.backend {
+            Backend::Single(engine) => {
+                if let Ok(mut e) = engine.lock() {
+                    e.finalize_durability();
+                }
+            }
+            Backend::Sharded(s) => s.finalize_durability(),
+        }
+    }
+}
+
+impl Drop for FrontendServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -31,25 +31,31 @@
 //! same key-routing functions place data on server processes here and
 //! on in-process engine shards in `pequod_core::sharded`.
 
-// No first-party unsafe: the whole system is safe Rust over the
-// vendored deps. `cargo xtask audit` additionally requires a SAFETY
-// comment on any future unsafe block an allow here would admit.
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide; the single exception is the `epoll(7)`
+// FFI shim in `reactor::sys`, which carries `#[allow(unsafe_code)]`
+// plus the SAFETY comments `cargo xtask audit` requires.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod codec;
+pub mod frontend;
 pub mod message;
 pub mod partition;
+pub mod reactor;
 pub mod server;
 pub mod sim;
+pub mod swarm;
 pub mod tcp;
 
 pub use client::ClusterClient;
+pub use frontend::{FrontendConfig, FrontendServer, FrontendStats, FrontendStatsSnapshot};
 pub use message::Message;
 pub use partition::{ComponentHashPartition, Partition, ServerId, SingleServer, TablePartition};
+pub use reactor::Poller;
 pub use server::{Endpoint, NodeStats, ServerNode};
 pub use sim::{FaultStats, LinkFaults, SimCluster, SimConfig, SimNet, TrafficStats};
+pub use swarm::{Swarm, SwarmConfig, SwarmReport};
 pub use tcp::{ClientError, RetryPolicy, TcpClient, TcpServer};
 
 #[cfg(test)]

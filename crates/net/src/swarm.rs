@@ -1,0 +1,318 @@
+//! A many-connection pipelined client driver over [`Poller`].
+//!
+//! [`Swarm::run`] opens N connections to one server, keeps up to
+//! `depth` request frames in flight per connection, and drives all of
+//! the sockets from a single thread with the same `epoll` wrapper the
+//! server's reactor uses — so tests and benchmarks can hold thousands
+//! of live pipelined connections without thousands of client threads.
+//!
+//! The caller supplies the traffic: a request generator invoked as
+//! `(connection, frame_seq) -> Message`, and a reply callback invoked
+//! with every decoded reply frame in arrival order. Replies are matched
+//! to frames positionally (the protocol answers frames in order), so a
+//! `Batch { msgs }` frame is counted as `msgs.len()` expected replies.
+//!
+//! The driver takes no timestamps; callers time the run themselves. A
+//! run that makes no progress for `max_stalls` consecutive waits fails
+//! with `TimedOut` instead of hanging the test suite.
+
+use crate::codec::{encode_frame, FrameDecoder};
+use crate::message::Message;
+use crate::reactor::Poller;
+use bytes::Bytes;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::AsRawFd;
+
+/// Shape of a [`Swarm`] run.
+#[derive(Clone, Copy, Debug)]
+pub struct SwarmConfig {
+    /// Connections to open.
+    pub conns: usize,
+    /// Maximum unanswered request frames per connection.
+    pub depth: usize,
+    /// Request frames each connection sends over the run.
+    pub frames_per_conn: usize,
+    /// Poll-wait granularity in milliseconds.
+    pub wait_ms: i32,
+    /// Consecutive empty waits tolerated before the run fails with
+    /// `TimedOut` (total patience ≈ `wait_ms * max_stalls`).
+    pub max_stalls: u32,
+}
+
+impl Default for SwarmConfig {
+    fn default() -> SwarmConfig {
+        SwarmConfig {
+            conns: 100,
+            depth: 8,
+            frames_per_conn: 100,
+            wait_ms: 1_000,
+            max_stalls: 30,
+        }
+    }
+}
+
+/// Counters from a completed [`Swarm::run`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SwarmReport {
+    /// Request frames sent across all connections.
+    pub frames_sent: u64,
+    /// Reply frames received.
+    pub replies: u64,
+    /// Replies that carried a server error.
+    pub reply_errors: u64,
+    /// Bytes written.
+    pub bytes_out: u64,
+    /// Bytes read.
+    pub bytes_in: u64,
+}
+
+struct SwarmConn {
+    index: usize,
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    out: VecDeque<Bytes>,
+    out_pos: usize,
+    /// Replies still owed per in-flight frame, in send order.
+    expected: VecDeque<usize>,
+    sent: usize,
+    reg_write: bool,
+    done: bool,
+}
+
+impl SwarmConn {
+    fn complete(&self, frames_per_conn: usize) -> bool {
+        self.sent >= frames_per_conn && self.expected.is_empty() && self.out.is_empty()
+    }
+}
+
+/// The driver; see the [module docs](self).
+pub struct Swarm {
+    cfg: SwarmConfig,
+}
+
+impl Swarm {
+    /// A driver with the given shape.
+    pub fn new(cfg: SwarmConfig) -> Swarm {
+        Swarm { cfg }
+    }
+
+    /// Opens the connections, pumps every frame through, and returns
+    /// once all replies have arrived. `request(conn, seq)` produces the
+    /// `seq`-th frame for connection `conn`; `on_reply(conn, msg)` sees
+    /// every decoded reply in per-connection arrival order.
+    pub fn run(
+        &self,
+        addr: SocketAddr,
+        mut request: impl FnMut(usize, usize) -> Message,
+        mut on_reply: impl FnMut(usize, &Message),
+    ) -> std::io::Result<SwarmReport> {
+        let cfg = self.cfg;
+        let mut report = SwarmReport::default();
+        if cfg.conns == 0 || cfg.frames_per_conn == 0 {
+            return Ok(report);
+        }
+        let depth = cfg.depth.max(1);
+        let mut poller = Poller::new()?;
+        let mut conns: Vec<SwarmConn> = Vec::with_capacity(cfg.conns);
+        for i in 0..cfg.conns {
+            let stream = connect_retry(addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_nonblocking(true)?;
+            poller.register(stream.as_raw_fd(), i as u64, true, false)?;
+            conns.push(SwarmConn {
+                index: i,
+                stream,
+                decoder: FrameDecoder::new(),
+                out: VecDeque::new(),
+                out_pos: 0,
+                expected: VecDeque::new(),
+                sent: 0,
+                reg_write: false,
+                done: false,
+            });
+        }
+        // Prime every connection's window, flushing what the socket
+        // buffer will take immediately.
+        let mut open = conns.len();
+        for (i, conn) in conns.iter_mut().enumerate() {
+            fill_window(conn, &cfg, depth, &mut request, &mut report);
+            flush(conn, &mut report)?;
+            sync_interest(&mut poller, conn, i as u64)?;
+            if conn.complete(cfg.frames_per_conn) {
+                retire(&mut poller, conn)?;
+                open -= 1;
+            }
+        }
+        let mut events = Vec::new();
+        let mut rdbuf = vec![0u8; 64 * 1024];
+        let mut stalls = 0u32;
+        while open > 0 {
+            poller.wait(&mut events, cfg.wait_ms)?;
+            if events.is_empty() {
+                stalls += 1;
+                if stalls > cfg.max_stalls {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        format!("swarm stalled with {open} connections outstanding"),
+                    ));
+                }
+                continue;
+            }
+            stalls = 0;
+            for ev in &events {
+                let i = ev.token as usize;
+                let Some(conn) = conns.get_mut(i) else {
+                    continue;
+                };
+                if conn.done {
+                    continue;
+                }
+                if ev.readable || ev.error {
+                    pump_read(conn, &mut rdbuf, &mut on_reply, i, &mut report)?;
+                }
+                if ev.writable {
+                    flush(conn, &mut report)?;
+                }
+                fill_window(conn, &cfg, depth, &mut request, &mut report);
+                flush(conn, &mut report)?;
+                if conn.complete(cfg.frames_per_conn) {
+                    retire(&mut poller, conn)?;
+                    open -= 1;
+                } else {
+                    sync_interest(&mut poller, conn, i as u64)?;
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// Expected reply frames for one request frame: the protocol answers a
+/// `Batch` with one reply per (already-flat) element.
+fn expected_replies(msg: &Message) -> usize {
+    match msg {
+        Message::Batch { msgs } => msgs.len(),
+        _ => 1,
+    }
+}
+
+/// Connect with a short retry loop: under a mass-open a loopback
+/// listener's backlog can transiently refuse.
+fn connect_retry(addr: SocketAddr) -> std::io::Result<TcpStream> {
+    let mut delay_ms = 1u64;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) if delay_ms > 256 => return Err(e),
+            Err(_) => {
+                std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+                delay_ms *= 2;
+            }
+        }
+    }
+}
+
+/// Tops the connection's window up to `depth` in-flight frames.
+fn fill_window(
+    conn: &mut SwarmConn,
+    cfg: &SwarmConfig,
+    depth: usize,
+    request: &mut impl FnMut(usize, usize) -> Message,
+    report: &mut SwarmReport,
+) {
+    while conn.expected.len() < depth && conn.sent < cfg.frames_per_conn {
+        let msg = request(conn.index, conn.sent);
+        let expect = expected_replies(&msg);
+        if expect > 0 {
+            conn.expected.push_back(expect);
+        }
+        conn.out.push_back(encode_frame(&msg));
+        conn.sent += 1;
+        report.frames_sent += 1;
+    }
+}
+
+fn flush(conn: &mut SwarmConn, report: &mut SwarmReport) -> std::io::Result<()> {
+    while let Some(front) = conn.out.front() {
+        match conn.stream.write(&front[conn.out_pos..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "swarm write returned 0",
+                ))
+            }
+            Ok(n) => {
+                report.bytes_out += n as u64;
+                conn.out_pos += n;
+                if conn.out_pos >= front.len() {
+                    conn.out.pop_front();
+                    conn.out_pos = 0;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn pump_read(
+    conn: &mut SwarmConn,
+    rdbuf: &mut [u8],
+    on_reply: &mut impl FnMut(usize, &Message),
+    index: usize,
+    report: &mut SwarmReport,
+) -> std::io::Result<()> {
+    loop {
+        match conn.stream.read(rdbuf) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!("server closed swarm connection {index} early"),
+                ))
+            }
+            Ok(n) => {
+                report.bytes_in += n as u64;
+                conn.decoder.extend(&rdbuf[..n]);
+                loop {
+                    let msg = conn.decoder.next_frame().map_err(|e| {
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                    })?;
+                    let Some(msg) = msg else { break };
+                    report.replies += 1;
+                    if let Message::Reply { error: Some(_), .. } = &msg {
+                        report.reply_errors += 1;
+                    }
+                    on_reply(index, &msg);
+                    if let Some(head) = conn.expected.front_mut() {
+                        *head -= 1;
+                        if *head == 0 {
+                            conn.expected.pop_front();
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn sync_interest(poller: &mut Poller, conn: &mut SwarmConn, token: u64) -> std::io::Result<()> {
+    let want_write = !conn.out.is_empty();
+    if want_write != conn.reg_write {
+        poller.modify(conn.stream.as_raw_fd(), token, true, want_write)?;
+        conn.reg_write = want_write;
+    }
+    Ok(())
+}
+
+fn retire(poller: &mut Poller, conn: &mut SwarmConn) -> std::io::Result<()> {
+    poller.deregister(conn.stream.as_raw_fd())?;
+    conn.done = true;
+    Ok(())
+}

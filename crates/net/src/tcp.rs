@@ -43,12 +43,18 @@ impl Clone for TcpBackend {
     }
 }
 
+/// Live connections: a duplicated stream (to sever on shutdown) plus
+/// the serve thread's handle (to join). Registered by the accept loop,
+/// drained by [`TcpServer::shutdown`].
+type ConnRegistry = Arc<Mutex<Vec<(TcpStream, JoinHandle<()>)>>>;
+
 /// A running TCP server.
 pub struct TcpServer {
     addr: SocketAddr,
     backend: TcpBackend,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    conns: ConnRegistry,
 }
 
 impl TcpServer {
@@ -74,28 +80,42 @@ impl TcpServer {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let conns: ConnRegistry = Arc::new(Mutex::new(Vec::new()));
         let accept_backend = backend.clone();
         let accept_stop = stop.clone();
+        let accept_conns = conns.clone();
         let accept_thread = std::thread::spawn(move || {
             for conn in listener.incoming() {
                 if accept_stop.load(Ordering::Relaxed) {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
-                match &accept_backend {
+                // Register before serving: a connection we could not
+                // sever on shutdown must not be served at all, else
+                // `shutdown()` could return with it still live.
+                let Ok(peer) = stream.try_clone() else {
+                    continue;
+                };
+                let handle = match &accept_backend {
                     TcpBackend::Single(engine) => {
                         let engine = engine.clone();
                         std::thread::spawn(move || {
                             let _ = serve_connection(stream, engine);
-                        });
+                        })
                     }
                     TcpBackend::Sharded(sharded) => {
                         let handle = sharded.client_handle();
                         std::thread::spawn(move || {
                             let _ = serve_sharded_connection(stream, handle);
-                        });
+                        })
                     }
-                }
+                };
+                let mut reg = match accept_conns.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                reg.retain(|(_, h)| !h.is_finished());
+                reg.push((peer, handle));
             }
         });
         Ok(TcpServer {
@@ -103,6 +123,7 @@ impl TcpServer {
             backend,
             stop,
             accept_thread: Some(accept_thread),
+            conns,
         })
     }
 
@@ -128,13 +149,29 @@ impl TcpServer {
         }
     }
 
-    /// Stops accepting connections.
+    /// Stops the server deterministically: no connection — including
+    /// one accepted concurrently with this call — is serviced after it
+    /// returns. The accept loop is joined first (a racing connection is
+    /// either registered or refused), then every live connection is
+    /// severed and its serve thread joined.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         // Poke the accept loop so it observes the flag.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+        // The accept loop has exited, so the registry is complete.
+        let held: Vec<(TcpStream, JoinHandle<()>)> = {
+            let mut reg = match self.conns.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            reg.drain(..).collect()
+        };
+        for (stream, handle) in held {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            let _ = handle.join();
         }
     }
 
@@ -241,22 +278,31 @@ fn handle_sharded_message(handle: &mut ShardedHandle, msg: Message) -> Vec<Messa
         .zip(keys)
         .zip(handle.execute_batch(commands))
     {
-        replies.push(match response {
-            Response::Value(v) => Message::reply(
-                id,
-                v.and_then(|v| key.map(|k| (k, v))).into_iter().collect(),
-            ),
-            Response::Pairs(pairs) => Message::reply(id, pairs),
-            Response::Count(n) => Message::count_reply(id, n),
-            Response::Ok => Message::reply(id, vec![]),
-            Response::Stats(_) => Message::reply(id, vec![]),
-            Response::Error(e) => Message::error(id, e),
-        });
+        replies.push(response_to_message(id, key, response));
     }
     replies
 }
 
-fn handle_client_message(engine: &Mutex<Engine>, msg: Message) -> Vec<Message> {
+/// Formats one unified-client [`Response`] as the wire reply for
+/// request `id`; `key` is the key a `Get` reply echoes. Shared with the
+/// event-driven frontend so both servers answer byte-identically.
+pub(crate) fn response_to_message(id: u64, key: Option<Key>, response: Response) -> Message {
+    match response {
+        Response::Value(v) => Message::reply(
+            id,
+            v.and_then(|v| key.map(|k| (k, v))).into_iter().collect(),
+        ),
+        Response::Pairs(pairs) => Message::reply(id, pairs),
+        Response::Count(n) => Message::count_reply(id, n),
+        Response::Ok => Message::reply(id, vec![]),
+        Response::Stats(_) => Message::reply(id, vec![]),
+        Response::Error(e) => Message::error(id, e),
+    }
+}
+
+/// Serves one wire message against a mutex-shared single engine; shared
+/// with the event-driven frontend's worker pool.
+pub(crate) fn handle_client_message(engine: &Mutex<Engine>, msg: Message) -> Vec<Message> {
     let reply = match msg {
         Message::Batch { msgs } => {
             // One frame in, one reply per pipelined request out.

@@ -9,7 +9,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use bytes::BytesMut;
-use pequod_net::codec::{decode, decode_frame, encode, encode_frame};
+use pequod_net::codec::{decode, decode_frame, encode, encode_frame, FrameDecoder};
 use pequod_net::Message;
 use pequod_store::{Key, KeyRange, UpperBound, Value};
 use proptest::prelude::*;
@@ -193,5 +193,57 @@ proptest! {
         }
         prop_assert_eq!(got, msgs);
         prop_assert!(buf.is_empty());
+    }
+
+    /// The incremental [`FrameDecoder`] (the reactor's and swarm's
+    /// stream splitter), fed one byte at a time, yields exactly the
+    /// messages of a one-shot decode — the parser cannot depend on any
+    /// particular read-chunk alignment.
+    #[test]
+    fn frame_decoder_survives_single_byte_feeding(
+        msgs in proptest::collection::vec(message_strategy(1), 1..4),
+    ) {
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode_frame(m));
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            dec.extend(&[b]);
+            while let Some(m) = dec.next_frame().unwrap() {
+                got.push(m);
+            }
+        }
+        prop_assert_eq!(got, msgs);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+
+    /// The same stream cut at arbitrary random boundaries (including
+    /// empty chunks and cuts inside the length prefix) decodes to the
+    /// same messages in the same order, with nothing left over.
+    #[test]
+    fn frame_decoder_survives_random_chunk_boundaries(
+        msgs in proptest::collection::vec(message_strategy(1), 1..5),
+        cuts in proptest::collection::vec(0usize..10_000, 0..9),
+    ) {
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode_frame(m));
+        }
+        let mut points: Vec<usize> = cuts.iter().map(|c| c % (stream.len() + 1)).collect();
+        points.push(0);
+        points.push(stream.len());
+        points.sort_unstable();
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for w in points.windows(2) {
+            dec.extend(&stream[w[0]..w[1]]);
+            while let Some(m) = dec.next_frame().unwrap() {
+                got.push(m);
+            }
+        }
+        prop_assert_eq!(got, msgs);
+        prop_assert_eq!(dec.buffered(), 0);
     }
 }

@@ -1,0 +1,466 @@
+//! Stress and robustness suite for the event-driven frontend: thousands
+//! of concurrent pipelined connections, mid-frame disconnects, slow
+//! readers driving backpressure, garbage and oversized frames, idle and
+//! stall timeouts, and deterministic shutdown (the drain-or-refuse
+//! regression for both servers).
+//!
+//! Everything here is deterministic: request streams derive from
+//! (connection, sequence) counters, and assertions about timeouts poll
+//! server counters under a deadline instead of sleeping fixed amounts.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use pequod_core::{Engine, EngineConfig, ShardedEngine};
+use pequod_net::codec::{encode_frame, FrameDecoder};
+use pequod_net::{
+    FrontendConfig, FrontendServer, Message, Swarm, SwarmConfig, TcpClient, TcpServer,
+};
+use pequod_store::{Key, KeyRange, Value};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn k(s: &str) -> Key {
+    Key::from(s)
+}
+
+fn v(bytes: Vec<u8>) -> Value {
+    Value::from(bytes)
+}
+
+fn single_server(cfg: FrontendConfig) -> FrontendServer {
+    FrontendServer::spawn("127.0.0.1:0", Engine::new(EngineConfig::default()), cfg).unwrap()
+}
+
+/// Polls `cond` until it holds or `secs` elapse.
+fn wait_for(secs: u64, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cond()
+}
+
+/// The acceptance-criteria test: 5000 concurrent connections, each
+/// pipelining put+get batches, with zero dropped or reordered replies.
+#[test]
+fn five_thousand_pipelined_connections() {
+    let mut server = single_server(FrontendConfig::default());
+    let addr = server.addr();
+    const CONNS: usize = 5000;
+    const FRAMES: usize = 4;
+    let swarm = Swarm::new(SwarmConfig {
+        conns: CONNS,
+        depth: 8,
+        frames_per_conn: FRAMES,
+        wait_ms: 1_000,
+        max_stalls: 60,
+    });
+    // Frame s on connection c: Batch[ Put(id 2s+1), Get(id 2s+2) ] of a
+    // per-(c, s) key — the get must see the put (same frame, in order).
+    let next_expected: Vec<AtomicU64> = (0..CONNS).map(|_| AtomicU64::new(1)).collect();
+    let expect = Arc::new(next_expected);
+    let expect_cb = expect.clone();
+    let report = swarm
+        .run(
+            addr,
+            |c, s| {
+                let key = format!("p|u{c}|{s:010}");
+                Message::Batch {
+                    msgs: vec![
+                        Message::Put {
+                            id: (2 * s + 1) as u64,
+                            key: k(&key),
+                            value: v(vec![b'x'; 32]),
+                        },
+                        Message::Get {
+                            id: (2 * s + 2) as u64,
+                            key: k(&key),
+                        },
+                    ],
+                }
+            },
+            |c, msg| {
+                let Message::Reply { id, pairs, error } = msg else {
+                    panic!("non-reply frame on connection {c}: {msg:?}");
+                };
+                assert!(error.is_none(), "conn {c} id {id}: server error {error:?}");
+                let want = expect_cb[c].fetch_add(1, Ordering::Relaxed);
+                assert_eq!(*id, want, "conn {c}: replies reordered");
+                if id % 2 == 0 {
+                    assert_eq!(pairs.len(), 1, "conn {c} id {id}: get missed its put");
+                }
+            },
+        )
+        .unwrap();
+    assert_eq!(report.frames_sent, (CONNS * FRAMES) as u64);
+    assert_eq!(
+        report.replies,
+        (CONNS * FRAMES * 2) as u64,
+        "dropped replies"
+    );
+    assert_eq!(report.reply_errors, 0);
+    let stats = server.stats();
+    assert!(stats.accepted >= CONNS as u64);
+    server.shutdown();
+}
+
+/// Sharded backend under the same shape: pipelined put+get batches must
+/// keep read-your-writes through the per-shard submission queues.
+#[test]
+fn sharded_pipelined_connections() {
+    let part = Arc::new(pequod_core::partition::ComponentHashPartition {
+        component: 1,
+        servers: 2,
+    });
+    let sharded = ShardedEngine::new(2, EngineConfig::default(), part, &["p|", "s|"]);
+    let mut server =
+        FrontendServer::spawn_sharded("127.0.0.1:0", sharded, FrontendConfig::default()).unwrap();
+    const CONNS: usize = 1000;
+    const FRAMES: usize = 4;
+    let swarm = Swarm::new(SwarmConfig {
+        conns: CONNS,
+        depth: 4,
+        frames_per_conn: FRAMES,
+        wait_ms: 1_000,
+        max_stalls: 60,
+    });
+    let report = swarm
+        .run(
+            server.addr(),
+            |c, s| {
+                let key = format!("p|u{c}|{s:010}");
+                Message::Batch {
+                    msgs: vec![
+                        Message::Put {
+                            id: (2 * s + 1) as u64,
+                            key: k(&key),
+                            value: v(vec![b's'; 16]),
+                        },
+                        Message::Get {
+                            id: (2 * s + 2) as u64,
+                            key: k(&key),
+                        },
+                    ],
+                }
+            },
+            |c, msg| {
+                let Message::Reply { id, pairs, error } = msg else {
+                    panic!("non-reply frame on connection {c}: {msg:?}");
+                };
+                assert!(error.is_none(), "conn {c} id {id}: server error {error:?}");
+                if id % 2 == 0 {
+                    assert_eq!(pairs.len(), 1, "conn {c} id {id}: get missed its put");
+                }
+            },
+        )
+        .unwrap();
+    assert_eq!(report.replies, (CONNS * FRAMES * 2) as u64);
+    assert_eq!(report.reply_errors, 0);
+    server.shutdown();
+}
+
+/// Sockets dropped mid-frame must not wedge the reactor or leak
+/// connection slots.
+#[test]
+fn mid_frame_disconnects_leave_server_serving() {
+    let mut server = single_server(FrontendConfig::default());
+    let addr = server.addr();
+    let frame = encode_frame(&Message::Put {
+        id: 1,
+        key: k("p|x|0000000001"),
+        value: v(vec![b'y'; 1000]),
+    });
+    for i in 0..100 {
+        let mut sock = TcpStream::connect(addr).unwrap();
+        // A strict prefix of a frame, cut at a different point each
+        // time (including inside the length header).
+        let cut = 1 + (i * 7) % (frame.len() - 1);
+        sock.write_all(&frame[..cut]).unwrap();
+        drop(sock);
+    }
+    // The server must still answer normally...
+    let mut client = TcpClient::connect(addr).unwrap();
+    client.put("p|ok|0000000001", "fine").unwrap();
+    assert_eq!(
+        client.get("p|ok|0000000001").unwrap(),
+        Some(Value::from(b"fine".to_vec()))
+    );
+    drop(client);
+    // ...and reclaim every slot.
+    assert!(
+        wait_for(10, || server.stats().active == 0),
+        "connection slots leaked: {} still active",
+        server.stats().active
+    );
+    let stats = server.stats();
+    assert!(stats.accepted >= 101);
+    server.shutdown();
+}
+
+/// A reader that stops draining its socket must pause the connection
+/// (bounded write buffer), not balloon server memory — and the replies
+/// must all still arrive, in order, once it resumes.
+#[test]
+fn slow_reader_triggers_backpressure_and_loses_nothing() {
+    let mut server = single_server(FrontendConfig {
+        max_write_buffer: 2048,
+        stall_timeout_ms: None, // the slow reader must NOT be killed here
+        ..FrontendConfig::default()
+    });
+    let addr = server.addr();
+    let mut sock = TcpStream::connect(addr).unwrap();
+    sock.set_nodelay(true).unwrap();
+    // One 256 KiB value, then 48 pipelined gets of it: ~12 MiB of
+    // replies, far past what the kernel's socket buffers can absorb
+    // (sndbuf autotunes to at most 4 MiB here), so the server's own
+    // bounded write queue must engage.
+    sock.write_all(&encode_frame(&Message::Put {
+        id: 1,
+        key: k("p|big|0000000001"),
+        value: v(vec![b'z'; 256 * 1024]),
+    }))
+    .unwrap();
+    for i in 0..48u64 {
+        sock.write_all(&encode_frame(&Message::Get {
+            id: 2 + i,
+            key: k("p|big|0000000001"),
+        }))
+        .unwrap();
+    }
+    // Don't read: the server must hit the cap and pause this socket.
+    assert!(
+        wait_for(10, || server.stats().backpressure_pauses > 0),
+        "no backpressure pause recorded"
+    );
+    // Resume reading: every reply arrives, in order.
+    let mut dec = FrameDecoder::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let mut next_id = 1u64;
+    while next_id <= 49 {
+        match dec.next_frame().unwrap() {
+            Some(Message::Reply { id, error, .. }) => {
+                assert!(error.is_none());
+                assert_eq!(id, next_id, "replies reordered under backpressure");
+                next_id += 1;
+            }
+            Some(other) => panic!("unexpected frame {other:?}"),
+            None => {
+                let n = sock.read(&mut chunk).unwrap();
+                assert!(n > 0, "server closed a merely-slow reader");
+                dec.extend(&chunk[..n]);
+            }
+        }
+    }
+    server.shutdown();
+}
+
+/// Reads one frame (blocking) then expects EOF/reset.
+fn read_error_frame_then_eof(sock: &mut TcpStream) -> Message {
+    let mut dec = FrameDecoder::new();
+    let mut chunk = [0u8; 4096];
+    let msg = loop {
+        if let Some(m) = dec.next_frame().unwrap() {
+            break m;
+        }
+        let n = sock.read(&mut chunk).unwrap();
+        assert!(n > 0, "closed before the error frame");
+        dec.extend(&chunk[..n]);
+    };
+    // After the error frame the server closes; a reset instead of a
+    // clean EOF is acceptable (unread bytes may remain on our side).
+    loop {
+        match sock.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
+    msg
+}
+
+/// Garbage and oversized frames get one protocol-level error frame and
+/// a close — never a panic, never a stuck server.
+#[test]
+fn garbage_frames_get_error_frame_then_close() {
+    let mut server = single_server(FrontendConfig::default());
+    let addr = server.addr();
+    // Bad tag: well-formed length, nonsense body.
+    {
+        let mut sock = TcpStream::connect(addr).unwrap();
+        sock.write_all(&[3, 0, 0, 0, 0xEE, 0xFF, 0x01]).unwrap();
+        let msg = read_error_frame_then_eof(&mut sock);
+        let Message::Reply { id, error, .. } = msg else {
+            panic!("expected an error reply, got {msg:?}");
+        };
+        assert_eq!(id, 0);
+        assert!(
+            error.as_deref().unwrap_or("").starts_with("codec:"),
+            "unexpected error text {error:?}"
+        );
+    }
+    // Oversized declared length: rejected from the header alone.
+    {
+        let mut sock = TcpStream::connect(addr).unwrap();
+        sock.write_all(&[0xFF, 0xFF, 0xFF, 0xFF]).unwrap();
+        let msg = read_error_frame_then_eof(&mut sock);
+        let Message::Reply { error, .. } = msg else {
+            panic!("expected an error reply, got {msg:?}");
+        };
+        assert!(error.as_deref().unwrap_or("").starts_with("codec:"));
+    }
+    assert!(wait_for(5, || server.stats().codec_errors >= 2));
+    // The server still serves clean connections.
+    let mut client = TcpClient::connect(addr).unwrap();
+    client.put("p|ok|0000000001", "fine").unwrap();
+    server.shutdown();
+}
+
+/// Idle connections are reaped once the idle timeout is configured.
+#[test]
+fn idle_timeout_closes_quiet_connections() {
+    let mut server = single_server(FrontendConfig {
+        tick_ms: 5,
+        idle_timeout_ms: Some(25),
+        stall_timeout_ms: None,
+        ..FrontendConfig::default()
+    });
+    let mut client = TcpClient::connect(server.addr()).unwrap();
+    client.put("p|idle|0000000001", "hello").unwrap();
+    // Stop talking; the server must close us.
+    assert!(
+        wait_for(10, || server.stats().idle_closed >= 1),
+        "idle connection never reaped"
+    );
+    assert!(wait_for(10, || server.stats().active == 0));
+    server.shutdown();
+}
+
+/// A stopped reader with queued replies is a stalled client: reaped by
+/// the stall timeout so it cannot hold buffer memory forever.
+#[test]
+fn stall_timeout_closes_stuck_readers() {
+    let mut server = single_server(FrontendConfig {
+        tick_ms: 5,
+        max_write_buffer: 1024,
+        stall_timeout_ms: Some(50),
+        ..FrontendConfig::default()
+    });
+    let mut sock = TcpStream::connect(server.addr()).unwrap();
+    sock.write_all(&encode_frame(&Message::Put {
+        id: 1,
+        key: k("p|big|0000000001"),
+        value: v(vec![b'q'; 256 * 1024]),
+    }))
+    .unwrap();
+    for i in 0..48u64 {
+        sock.write_all(&encode_frame(&Message::Get {
+            id: 2 + i,
+            key: k("p|big|0000000001"),
+        }))
+        .unwrap();
+    }
+    // Never read.
+    assert!(
+        wait_for(10, || server.stats().stall_closed >= 1),
+        "stalled connection never reaped"
+    );
+    assert!(wait_for(10, || server.stats().active == 0));
+    server.shutdown();
+}
+
+/// Regression for the accept-loop shutdown race: a connection that was
+/// live when `shutdown()` was called must not be serviced after it
+/// returns — on the blocking server (where the race lived) and on the
+/// reactor alike.
+#[test]
+fn threads_shutdown_severs_live_connections() {
+    let mut server = TcpServer::spawn("127.0.0.1:0", Engine::new(EngineConfig::default())).unwrap();
+    let addr = server.addr();
+    let mut sock = TcpStream::connect(addr).unwrap();
+    sock.set_nodelay(true).unwrap();
+    // Prove the connection is being serviced.
+    sock.write_all(&encode_frame(&Message::Put {
+        id: 1,
+        key: k("p|pre|0000000001"),
+        value: v(b"x".to_vec()),
+    }))
+    .unwrap();
+    let mut chunk = [0u8; 4096];
+    let mut dec = FrameDecoder::new();
+    loop {
+        if dec.next_frame().unwrap().is_some() {
+            break;
+        }
+        let n = sock.read(&mut chunk).unwrap();
+        assert!(n > 0);
+        dec.extend(&chunk[..n]);
+    }
+    server.shutdown();
+    // Before the fix the serve thread survived shutdown() and this
+    // request would be answered.
+    let _ = sock.write_all(&encode_frame(&Message::Get {
+        id: 2,
+        key: k("p|pre|0000000001"),
+    }));
+    let _ = sock.flush();
+    let answered = loop {
+        match dec.next_frame() {
+            Ok(Some(_)) => break true,
+            Ok(None) => {}
+            Err(_) => break false,
+        }
+        match sock.read(&mut chunk) {
+            Ok(0) | Err(_) => break false,
+            Ok(n) => dec.extend(&chunk[..n]),
+        }
+    };
+    assert!(!answered, "connection serviced after shutdown() returned");
+}
+
+/// The reactor's shutdown has the same contract.
+#[test]
+fn reactor_shutdown_severs_live_connections() {
+    let mut server = single_server(FrontendConfig::default());
+    let addr = server.addr();
+    let mut client = TcpClient::connect(addr).unwrap();
+    client.put("p|pre|0000000001", "x").unwrap();
+    server.shutdown();
+    let mut sock = TcpStream::connect(addr);
+    // New connections are refused entirely...
+    assert!(
+        sock.is_err() || {
+            let s = sock.as_mut().unwrap();
+            s.write_all(&encode_frame(&Message::Get {
+                id: 9,
+                key: k("p|pre|0000000001"),
+            }))
+            .ok();
+            let mut buf = [0u8; 64];
+            matches!(s.read(&mut buf), Ok(0) | Err(_))
+        },
+        "server answered after shutdown"
+    );
+}
+
+/// Scans big enough to span many reply frames survive the pipeline
+/// (bounded write queue slices them out without reordering).
+#[test]
+fn large_scans_flow_through_bounded_buffers() {
+    let mut server = single_server(FrontendConfig {
+        max_write_buffer: 4096,
+        ..FrontendConfig::default()
+    });
+    let mut client = TcpClient::connect(server.addr()).unwrap();
+    for i in 0..200 {
+        client.put(format!("p|u|{i:010}"), vec![b'v'; 512]).unwrap();
+    }
+    let pairs = client.scan(KeyRange::prefix("p|u|")).unwrap();
+    assert_eq!(pairs.len(), 200);
+    assert!(pairs.iter().all(|(_, val)| val.len() == 512));
+    server.shutdown();
+}

@@ -6,11 +6,19 @@
 //!               [--shards N] [--shard-table PREFIX] [--shard-component C]
 //!               [--data-dir DIR] [--snapshot-every N]
 //!               [--fsync never|always|every:N] [--paranoid]
+//!               [--net-model reactor|threads] [--unix-socket PATH]
 //!               [--cluster nodes.toml --node-id N]
 //! ```
 //!
 //! Speaks the length-prefixed binary protocol of `pequod-net`; use
 //! `pequod::net::TcpClient` (or the `tcp_demo` example) as a client.
+//!
+//! `--net-model` picks the serving front-end: `reactor` (default) is
+//! the event-driven epoll front-end with pipelining, bounded write
+//! buffers, and slow-client timeouts (see `docs/NETWORKING.md`);
+//! `threads` is the legacy blocking thread-per-connection server.
+//! `--unix-socket PATH` additionally serves the same protocol on a
+//! unix-domain socket (reactor model only).
 //!
 //! With `--shards N` (N > 1) the node serves a
 //! [`pequod::core::ShardedEngine`]: N single-threaded engine shards,
@@ -107,6 +115,8 @@ fn main() {
     let mut cluster_file: Option<String> = None;
     let mut node_id: Option<u32> = None;
     let mut listen_set = false;
+    let mut net_model = "reactor".to_string();
+    let mut unix_socket: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -172,6 +182,14 @@ fn main() {
                     .unwrap_or_else(|| panic!("bad --fsync {policy:?} (never|always|every:N)"));
             }
             "--paranoid" => paranoid = true,
+            "--net-model" => {
+                net_model = args.next().expect("--net-model needs reactor|threads");
+            }
+            "--unix-socket" => {
+                unix_socket = Some(PathBuf::from(
+                    args.next().expect("--unix-socket needs a path"),
+                ));
+            }
             "--cluster" => {
                 cluster_file = Some(args.next().expect("--cluster needs a nodes.toml path"));
             }
@@ -190,6 +208,7 @@ fn main() {
                      [--shards N] [--shard-table PREFIX]... [--shard-component C] \
                      [--data-dir DIR] [--snapshot-every N] \
                      [--fsync never|always|every:N] [--paranoid] \
+                     [--net-model reactor|threads] [--unix-socket PATH] \
                      [--cluster nodes.toml --node-id N]"
                 );
                 return;
@@ -276,6 +295,22 @@ fn main() {
         server.halt();
         return;
     }
+    let reactor_model = match net_model.as_str() {
+        "reactor" => true,
+        "threads" => false,
+        other => {
+            eprintln!("unknown --net-model {other:?} (reactor|threads)");
+            std::process::exit(2);
+        }
+    };
+    if unix_socket.is_some() && !reactor_model {
+        eprintln!("--unix-socket requires --net-model reactor");
+        std::process::exit(2);
+    }
+    let frontend_cfg = pequod::net::FrontendConfig {
+        unix_path: unix_socket.clone(),
+        ..Default::default()
+    };
     let server = if shards > 1 {
         if shard_tables.is_empty() {
             shard_tables = vec!["p|".to_string(), "s|".to_string()];
@@ -296,7 +331,12 @@ fn main() {
         eprintln!(
             "serving {shards} shards (tables {shard_tables:?} hashed on component {shard_component})"
         );
-        pequod::net::TcpServer::spawn_sharded(&*listen, sharded)
+        if reactor_model {
+            pequod::net::FrontendServer::spawn_sharded(&*listen, sharded, frontend_cfg)
+                .map(FrontServer::Reactor)
+        } else {
+            pequod::net::TcpServer::spawn_sharded(&*listen, sharded).map(FrontServer::Threads)
+        }
     } else {
         let mut engine = Engine::new(config);
         if let Some(dir) = &data_dir {
@@ -319,13 +359,50 @@ fn main() {
             }
         }
         install(&mut engine);
-        pequod::net::TcpServer::spawn(&*listen, engine)
+        if reactor_model {
+            pequod::net::FrontendServer::spawn(&*listen, engine, frontend_cfg)
+                .map(FrontServer::Reactor)
+        } else {
+            pequod::net::TcpServer::spawn(&*listen, engine).map(FrontServer::Threads)
+        }
     }
     .unwrap_or_else(|e| panic!("cannot listen on {listen}: {e}"));
     let mut server = server;
+    eprintln!(
+        "serving with the {net_model} network model{}",
+        match &unix_socket {
+            Some(p) => format!(", unix socket {}", p.display()),
+            None => String::new(),
+        }
+    );
+    // Tests parse the address off this line: keep it the tail.
     eprintln!("pequod-server listening on {}", server.addr());
     // Serve until SIGTERM, then drain and finalize durability so a
     // rolling restart loses nothing.
     wait_for_sigterm();
     server.shutdown_finalize();
+}
+
+/// Either serving front-end behind one shutdown surface.
+enum FrontServer {
+    /// Legacy blocking thread-per-connection server.
+    Threads(pequod::net::TcpServer),
+    /// Event-driven epoll front-end.
+    Reactor(pequod::net::FrontendServer),
+}
+
+impl FrontServer {
+    fn addr(&self) -> std::net::SocketAddr {
+        match self {
+            FrontServer::Threads(s) => s.addr(),
+            FrontServer::Reactor(s) => s.addr(),
+        }
+    }
+
+    fn shutdown_finalize(&mut self) {
+        match self {
+            FrontServer::Threads(s) => s.shutdown_finalize(),
+            FrontServer::Reactor(s) => s.shutdown_finalize(),
+        }
+    }
 }

@@ -1,0 +1,295 @@
+//! Protocol-surface conformance: the same wire script, sent pipelined,
+//! must produce byte-identical reply streams over every serving surface
+//! — the event-driven reactor on TCP, the reactor's unix-domain socket,
+//! and the legacy blocking thread-per-connection server — for both the
+//! single-engine and the sharded backend. A second set of scenarios
+//! checks that a `Batch` frame answers exactly like the same requests
+//! sent one frame at a time.
+//!
+//! Replies are compared by count plus an FNV-1a digest of their
+//! re-encoded frames (the codec is canonical, so this is the wire-byte
+//! stream).
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use pequod::core::partition::ComponentHashPartition;
+use pequod::core::{Engine, EngineConfig, ShardedEngine};
+use pequod::net::codec::{encode_frame, FrameDecoder};
+use pequod::net::{FrontendConfig, FrontendServer, Message, TcpServer};
+use pequod::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const TIMELINE: &str =
+    "t|<user>|<time:10>|<poster> = check s|<user>|<poster> copy p|<poster>|<time:10>";
+
+const TABLES: &[&str] = &["p|", "s|"];
+
+fn k(s: &str) -> Key {
+    Key::from(s)
+}
+
+fn v(s: &str) -> Value {
+    Value::from(s.as_bytes().to_vec())
+}
+
+/// The conformance script: joins, writes, computed reads, counts,
+/// removals, batches that split into multiple same-class runs on the
+/// sharded backend, and one unsupported (server-to-server) message.
+fn script() -> Vec<Message> {
+    vec![
+        Message::AddJoin {
+            id: 1,
+            text: TIMELINE.to_string(),
+        },
+        Message::Put {
+            id: 2,
+            key: k("s|ann|bob"),
+            value: v("1"),
+        },
+        Message::Batch {
+            msgs: vec![
+                Message::Put {
+                    id: 3,
+                    key: k("p|bob|0000000100"),
+                    value: v("Hi"),
+                },
+                Message::Put {
+                    id: 4,
+                    key: k("p|bob|0000000120"),
+                    value: v("again"),
+                },
+                Message::Put {
+                    id: 5,
+                    key: k("s|ann|cat"),
+                    value: v("1"),
+                },
+            ],
+        },
+        Message::Scan {
+            id: 6,
+            range: KeyRange::prefix("t|ann|"),
+        },
+        Message::Get {
+            id: 7,
+            key: k("p|bob|0000000100"),
+        },
+        Message::Count {
+            id: 8,
+            range: KeyRange::prefix("t|ann|"),
+        },
+        // Write → read → write → read → count: splits into five
+        // same-class runs on the sharded backend, whose sequencing is
+        // what keeps read-your-writes intact within one frame.
+        Message::Batch {
+            msgs: vec![
+                Message::Put {
+                    id: 9,
+                    key: k("p|cat|0000000200"),
+                    value: v("meow"),
+                },
+                Message::Scan {
+                    id: 10,
+                    range: KeyRange::prefix("t|ann|"),
+                },
+                Message::Remove {
+                    id: 11,
+                    key: k("p|bob|0000000120"),
+                },
+                Message::Scan {
+                    id: 12,
+                    range: KeyRange::prefix("t|ann|"),
+                },
+                Message::Count {
+                    id: 13,
+                    range: KeyRange::prefix("t|ann|"),
+                },
+            ],
+        },
+        Message::Get {
+            id: 14,
+            key: k("p|nobody|0000000000"),
+        },
+        Message::Remove {
+            id: 15,
+            key: k("s|ann|cat"),
+        },
+        Message::Scan {
+            id: 16,
+            range: KeyRange::prefix("t|ann|"),
+        },
+        // Server-to-server traffic must be refused identically.
+        Message::Hello { node: 3 },
+    ]
+}
+
+/// The same script with every `Batch` flattened to individual frames
+/// (same wire ids, so replies must be byte-identical).
+fn flattened(frames: &[Message]) -> Vec<Message> {
+    let mut out = Vec::new();
+    for f in frames {
+        match f {
+            Message::Batch { msgs } => out.extend(msgs.iter().cloned()),
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+fn expected_replies(msg: &Message) -> usize {
+    match msg {
+        Message::Batch { msgs } => msgs.len(),
+        _ => 1,
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Sends the whole script pipelined, then reads every reply frame;
+/// returns (reply count, FNV-1a digest of the reply byte stream).
+fn run_script<S: Read + Write>(sock: &mut S, frames: &[Message]) -> (usize, u64) {
+    for f in frames {
+        sock.write_all(&encode_frame(f)).unwrap();
+    }
+    let expected: usize = frames.iter().map(expected_replies).sum();
+    let mut dec = FrameDecoder::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let mut count = 0usize;
+    let mut fnv = FNV_OFFSET;
+    while count < expected {
+        match dec.next_frame().unwrap() {
+            Some(m) => {
+                count += 1;
+                for &b in encode_frame(&m).iter() {
+                    fnv ^= u64::from(b);
+                    fnv = fnv.wrapping_mul(FNV_PRIME);
+                }
+            }
+            None => {
+                let n = sock.read(&mut chunk).unwrap();
+                assert!(n > 0, "server closed before all replies arrived");
+                dec.extend(&chunk[..n]);
+            }
+        }
+    }
+    (count, fnv)
+}
+
+fn fresh_engine() -> Engine {
+    Engine::new(EngineConfig::default())
+}
+
+fn fresh_sharded() -> ShardedEngine {
+    let part = Arc::new(ComponentHashPartition {
+        component: 1,
+        servers: 2,
+    });
+    ShardedEngine::new(2, EngineConfig::default(), part, TABLES)
+}
+
+static SOCK_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn unix_sock_path() -> PathBuf {
+    let seq = SOCK_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("pequod-conf-{}-{seq}.sock", std::process::id()))
+}
+
+/// Every serving surface for one backend kind, each on a fresh
+/// instance (the script mutates state, so surfaces cannot share).
+fn surface_digests(sharded: bool, frames: &[Message]) -> Vec<(&'static str, (usize, u64))> {
+    let mut out = Vec::new();
+    // Legacy blocking thread-per-connection server.
+    {
+        let mut server = if sharded {
+            TcpServer::spawn_sharded("127.0.0.1:0", fresh_sharded()).unwrap()
+        } else {
+            TcpServer::spawn("127.0.0.1:0", fresh_engine()).unwrap()
+        };
+        let mut sock = TcpStream::connect(server.addr()).unwrap();
+        sock.set_nodelay(true).unwrap();
+        out.push(("threads-tcp", run_script(&mut sock, frames)));
+        drop(sock);
+        server.shutdown();
+    }
+    // Event-driven reactor, TCP surface.
+    {
+        let mut server = if sharded {
+            FrontendServer::spawn_sharded("127.0.0.1:0", fresh_sharded(), FrontendConfig::default())
+                .unwrap()
+        } else {
+            FrontendServer::spawn("127.0.0.1:0", fresh_engine(), FrontendConfig::default()).unwrap()
+        };
+        let mut sock = TcpStream::connect(server.addr()).unwrap();
+        sock.set_nodelay(true).unwrap();
+        out.push(("reactor-tcp", run_script(&mut sock, frames)));
+        drop(sock);
+        server.shutdown();
+    }
+    // Event-driven reactor, unix-domain socket surface.
+    {
+        let path = unix_sock_path();
+        let cfg = FrontendConfig {
+            unix_path: Some(path.clone()),
+            ..FrontendConfig::default()
+        };
+        let mut server = if sharded {
+            FrontendServer::spawn_sharded("127.0.0.1:0", fresh_sharded(), cfg).unwrap()
+        } else {
+            FrontendServer::spawn("127.0.0.1:0", fresh_engine(), cfg).unwrap()
+        };
+        let mut sock = UnixStream::connect(&path).unwrap();
+        out.push(("reactor-unix", run_script(&mut sock, frames)));
+        drop(sock);
+        server.shutdown();
+        assert!(!path.exists(), "unix socket file not removed on shutdown");
+    }
+    out
+}
+
+fn assert_all_equal(results: &[(&'static str, (usize, u64))]) {
+    let (name0, first) = &results[0];
+    for (name, r) in &results[1..] {
+        assert_eq!(
+            r, first,
+            "surface {name} answered differently from {name0}: \
+             {r:?} vs {first:?}"
+        );
+    }
+}
+
+#[test]
+fn all_surfaces_answer_byte_identically_single_engine() {
+    let frames = script();
+    let results = surface_digests(false, &frames);
+    assert_eq!(results[0].1 .0, 17, "script yields 17 replies");
+    assert_all_equal(&results);
+}
+
+#[test]
+fn all_surfaces_answer_byte_identically_sharded() {
+    let frames = script();
+    let results = surface_digests(true, &frames);
+    assert_eq!(results[0].1 .0, 17, "script yields 17 replies");
+    assert_all_equal(&results);
+}
+
+#[test]
+fn batch_equals_one_at_a_time_on_every_surface() {
+    let batched = script();
+    let flat = flattened(&batched);
+    for sharded in [false, true] {
+        let batched_results = surface_digests(sharded, &batched);
+        let flat_results = surface_digests(sharded, &flat);
+        assert_all_equal(&batched_results);
+        assert_all_equal(&flat_results);
+        assert_eq!(
+            batched_results[0].1, flat_results[0].1,
+            "batched and one-at-a-time reply streams diverge (sharded={sharded})"
+        );
+    }
+}
