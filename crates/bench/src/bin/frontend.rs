@@ -40,6 +40,9 @@ struct Row {
     frames: u64,
     replies: u64,
     secs: f64,
+    /// Client-observed per-frame latency (queued to last reply), µs.
+    p50_us: u64,
+    p99_us: u64,
 }
 
 impl Row {
@@ -136,6 +139,8 @@ fn run_one(
         frames: report.frames_sent,
         replies: report.replies,
         secs,
+        p50_us: report.latency.p50(),
+        p99_us: report.latency.p99(),
     }
 }
 
@@ -172,7 +177,9 @@ fn main() {
 
     print_table(
         "Front-end smoke — reactor vs thread-per-connection",
-        &["sweep", "model", "conns", "depth", "frames", "ops/s"],
+        &[
+            "sweep", "model", "conns", "depth", "frames", "ops/s", "p50 µs", "p99 µs",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -183,6 +190,8 @@ fn main() {
                     r.depth.to_string(),
                     r.frames.to_string(),
                     format!("{:.0}", r.ops_per_sec()),
+                    r.p50_us.to_string(),
+                    r.p99_us.to_string(),
                 ]
             })
             .collect::<Vec<_>>(),
@@ -197,7 +206,7 @@ fn main() {
             json.push_str(&format!(
                 "  {{\"sweep\": \"{}\", \"model\": \"{}\", \"conns\": {}, \"depth\": {}, \
                  \"frames\": {}, \"replies\": {}, \"seconds\": {:.6}, \
-                 \"ops_per_sec\": {:.1}}}{sep}\n",
+                 \"ops_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {}}}{sep}\n",
                 r.sweep,
                 r.model,
                 r.conns,
@@ -206,6 +215,8 @@ fn main() {
                 r.replies,
                 r.secs,
                 r.ops_per_sec(),
+                r.p50_us,
+                r.p99_us,
             ));
         }
         json.push_str("]\n");

@@ -1,0 +1,128 @@
+//! Telemetry overhead: the Figure 7 Twip workload on one engine with
+//! the recorder disabled vs fully enabled.
+//!
+//! The disabled [`Recorder`] is an `Option::None` behind an `Arc`
+//! clone — every hot-path hook short-circuits on one branch, so a
+//! server built with telemetry compiled in but not requested
+//! (`pequod-server` without `--metrics-addr`) should measure at the
+//! seed's throughput. The enabled recorder pays relaxed atomic
+//! increments plus one `Instant` read per timed operation; the
+//! acceptance bar for this PR is **< 5% fig7 throughput**.
+//!
+//! Modes interleave across `--reps` repetitions (off, on, off, on, …)
+//! so CPU frequency drift and cache warmth bias neither side; totals
+//! aggregate over all reps before the overhead is computed.
+//!
+//! ```text
+//! metrics_overhead [--scale S] [--reps N] [--json PATH]
+//! ```
+//!
+//! CI publishes the JSON as `BENCH_metrics_overhead.json`; rows carry
+//! `{mode, seconds, ops, ops_per_sec}` and the `on` row adds
+//! `overhead_pct` (negative means on measured faster — noise).
+
+use pequod_bench::{arg_value, print_table, twip_graph, Scale};
+use pequod_core::{Engine, EngineConfig};
+use pequod_store::StoreConfig;
+use pequod_telemetry::Recorder;
+use pequod_workloads::twip::{run_twip, PequodTwip, TwipMix, TwipWorkload};
+
+fn engine_config() -> EngineConfig {
+    EngineConfig::with_store(
+        StoreConfig::flat()
+            .with_subtable("t|", 2)
+            .with_subtable("p|", 2),
+    )
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let reps: usize = arg_value("--reps")
+        .map(|v| v.parse().expect("--reps needs a positive number"))
+        .unwrap_or(3)
+        .max(1);
+    let users = scale.count(2000) as u32;
+    let graph = twip_graph(users, 0x5e7);
+    let mix = TwipMix {
+        active_fraction: 0.7,
+        checks_per_user: 15,
+        seed: 0xf167,
+        ..TwipMix::default()
+    };
+    let workload = TwipWorkload::generate(&graph, &mix);
+    let initial_posts = scale.count(6000);
+    println!(
+        "metrics_overhead: {} users, {} edges, {} reps per mode",
+        users,
+        graph.edges(),
+        reps,
+    );
+
+    // One untimed warmup so the first measured rep does not inherit
+    // cold caches / allocator state that the others never see.
+    {
+        let mut b = PequodTwip::new(Engine::new(engine_config()));
+        run_twip(&mut b, &graph, &workload, initial_posts);
+    }
+
+    // (seconds, ops) totals per mode, accumulated over interleaved reps.
+    let mut totals = [(0.0f64, 0u64), (0.0f64, 0u64)];
+    for rep in 0..reps {
+        for (m, enabled) in [false, true].into_iter().enumerate() {
+            let mut engine = Engine::new(engine_config());
+            if enabled {
+                engine.set_recorder(Recorder::enabled());
+            }
+            let mut b = PequodTwip::new(engine);
+            let s = run_twip(&mut b, &graph, &workload, initial_posts);
+            totals[m].0 += s.elapsed;
+            totals[m].1 += s.ops;
+            println!(
+                "  rep {rep} {}: {:.3}s, {} ops",
+                if enabled { "on " } else { "off" },
+                s.elapsed,
+                s.ops
+            );
+        }
+    }
+
+    let rate = |m: usize| totals[m].1 as f64 / totals[m].0.max(1e-9);
+    let overhead_pct = (rate(0) - rate(1)) / rate(0).max(1e-9) * 100.0;
+    print_table(
+        "Telemetry overhead — fig7 Twip workload, recorder off vs on",
+        &["mode", "seconds", "ops", "ops/s", "overhead"],
+        &[
+            vec![
+                "off".to_string(),
+                format!("{:.3}", totals[0].0),
+                totals[0].1.to_string(),
+                format!("{:.0}", rate(0)),
+                String::new(),
+            ],
+            vec![
+                "on".to_string(),
+                format!("{:.3}", totals[1].0),
+                totals[1].1.to_string(),
+                format!("{:.0}", rate(1)),
+                format!("{overhead_pct:.2}%"),
+            ],
+        ],
+    );
+
+    if let Some(path) = arg_value("--json") {
+        let json = format!(
+            "[\n  {{\"mode\": \"off\", \"seconds\": {:.6}, \"ops\": {}, \
+             \"ops_per_sec\": {:.1}}},\n  {{\"mode\": \"on\", \"seconds\": {:.6}, \
+             \"ops\": {}, \"ops_per_sec\": {:.1}, \"overhead_pct\": {:.3}}}\n]\n",
+            totals[0].0,
+            totals[0].1,
+            rate(0),
+            totals[1].0,
+            totals[1].1,
+            rate(1),
+            overhead_pct,
+        );
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("\nwrote {path}");
+    }
+}

@@ -49,6 +49,7 @@ use crate::config::ClusterConfig;
 use pequod_core::Engine;
 use pequod_net::{Message, Partition};
 use pequod_store::{Key, Value};
+use pequod_telemetry::Snapshot;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -517,6 +518,10 @@ impl ClusterNode {
             Message::NodeStatus { id } => {
                 let pairs = self.status_pairs();
                 out.push((from, Message::reply(id, pairs)));
+            }
+            Message::Metrics { id, flight } => {
+                let snapshot = self.telemetry_snapshot(flight);
+                out.push((from, Message::metrics_reply(id, &snapshot)));
             }
             Message::Migrate {
                 id,
@@ -1051,6 +1056,9 @@ impl ClusterNode {
             };
             self.persist_rep(slot);
             self.stats.snap_installs += 1;
+            self.engine.recorder().flight("catchup_install", || {
+                format!("slot {slot}: snapshot catch-up installed")
+            });
             for (seq, ep, k, v) in buffered {
                 let applied = self.slots[slot as usize].applied;
                 if seq == applied + 1 {
@@ -1228,6 +1236,9 @@ impl ClusterNode {
         }
         self.persist_epoch(slot);
         self.stats.migrations += 1;
+        self.engine.recorder().flight("migration_flip", || {
+            format!("slot {slot}: authority flipped {} -> {}", mig.from, mig.to)
+        });
         let upto = self.slots[slot as usize].applied;
         let msg = self.epoch_change_msg(slot, upto, Some(mig.from));
         self.broadcast(&msg, out);
@@ -1389,6 +1400,12 @@ impl ClusterNode {
         self.persist_rep(slot);
         self.stats.promotions += 1;
         let upto = self.slots[i].applied;
+        self.engine.recorder().flight("failover", || {
+            format!(
+                "node {} promoted itself for slot {slot} (epoch {}, applied {upto})",
+                self.id, self.slots[i].epoch
+            )
+        });
         let msg = self.epoch_change_msg(slot, upto, None);
         self.broadcast(&msg, out);
     }
@@ -1467,6 +1484,9 @@ impl ClusterNode {
                 }
                 self.persist_epoch(slot);
                 self.stats.follower_drops += laggards.len() as u64;
+                self.engine.recorder().flight("follower_drop", || {
+                    format!("slot {slot}: dropped laggards {laggards:?}")
+                });
                 let upto = self.slots[slot as usize].applied;
                 let msg = self.epoch_change_msg(slot, upto, None);
                 self.broadcast(&msg, out);
@@ -1478,6 +1498,73 @@ impl ClusterNode {
     // ------------------------------------------------------------------
     // Introspection
     // ------------------------------------------------------------------
+
+    /// The node's telemetry snapshot: the engine recorder's metrics
+    /// merged with replication counters, catch-up volume, and per-slot
+    /// lag/ack gauges — the content a [`Message::Metrics`] request is
+    /// answered with.
+    pub fn telemetry_snapshot(&self, include_flight: bool) -> Snapshot {
+        let mut snap = self.engine.recorder().snapshot(include_flight);
+        let s = &self.stats;
+        snap.counter("pequod_cluster_writes_applied_total", &[], s.writes_applied);
+        snap.counter("pequod_cluster_writes_acked_total", &[], s.writes_acked);
+        snap.counter("pequod_cluster_redirects_total", &[], s.redirects);
+        snap.counter("pequod_cluster_notifies_sent_total", &[], s.notifies_sent);
+        snap.counter(
+            "pequod_cluster_notifies_applied_total",
+            &[],
+            s.notifies_applied,
+        );
+        snap.counter("pequod_cluster_failovers_total", &[], s.promotions);
+        snap.counter("pequod_cluster_epoch_changes_total", &[], s.epoch_changes);
+        snap.counter("pequod_cluster_follower_drops_total", &[], s.follower_drops);
+        snap.counter("pequod_cluster_readmissions_total", &[], s.readmissions);
+        snap.counter("pequod_cluster_migrations_total", &[], s.migrations);
+        snap.counter(
+            "pequod_cluster_catchup_subscribes_total",
+            &[],
+            s.catchup_subscribes,
+        );
+        snap.counter(
+            "pequod_cluster_catchup_bytes_total",
+            &[("path", "delta")],
+            s.delta_bytes_sent,
+        );
+        snap.counter(
+            "pequod_cluster_catchup_bytes_total",
+            &[("path", "snapshot")],
+            s.snap_bytes_sent,
+        );
+        snap.counter("pequod_cluster_snap_installs_total", &[], s.snap_installs);
+        snap.gauge(
+            "pequod_cluster_acks_outstanding",
+            &[],
+            self.pending.len() as u64,
+        );
+        for (i, st) in self.slots.iter().enumerate() {
+            if st.primary() != self.id || st.replicas.len() < 2 {
+                continue;
+            }
+            // Lag in sequence numbers behind the primary, for the
+            // slowest follower (a follower that never acked counts
+            // from zero).
+            let lag = st.replicas[1..]
+                .iter()
+                .map(|f| {
+                    st.applied
+                        .saturating_sub(st.follower_acked.get(f).copied().unwrap_or(0))
+                })
+                .max()
+                .unwrap_or(0);
+            let slot = i.to_string();
+            snap.gauge(
+                "pequod_replication_lag_seqs",
+                &[("slot", slot.as_str())],
+                lag,
+            );
+        }
+        snap
+    }
 
     /// The `NodeStatus` answer: replication counters plus the per-slot
     /// view, as ASCII pairs.

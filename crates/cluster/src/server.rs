@@ -26,6 +26,7 @@ use bytes::BytesMut;
 use pequod_core::Engine;
 use pequod_net::codec::{decode_frame, encode_frame};
 use pequod_net::Message;
+use pequod_telemetry::{Snapshot, SnapshotFn};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -48,6 +49,9 @@ enum Event {
     PeerFrame(u32, Message),
     /// Logical clock advanced to this many ms since start.
     Tick(u64),
+    /// A telemetry snapshot request (`flight`, reply channel) from the
+    /// scrape listener; answered by the event loop, which owns the node.
+    Telemetry(bool, Sender<Snapshot>),
     /// Stop serving; finalize durability if asked, then confirm.
     Stop(bool, Sender<()>),
 }
@@ -180,6 +184,24 @@ impl ClusterServer {
     /// This node's id.
     pub fn node_id(&self) -> u32 {
         self.node_id
+    }
+
+    /// A telemetry provider answering with
+    /// [`ClusterNode::telemetry_snapshot`] (engine metrics plus
+    /// replication counters and lag gauges). Each call round-trips
+    /// through the event loop, which owns the node; after `halt` it
+    /// returns an empty snapshot.
+    pub fn telemetry(&self) -> SnapshotFn {
+        let tx = self.tx.clone();
+        Arc::new(move |flight| {
+            let (rtx, rrx) = channel::<Snapshot>();
+            if tx.send(Event::Telemetry(flight, rtx)).is_ok() {
+                if let Ok(snap) = rrx.recv() {
+                    return snap;
+                }
+            }
+            Snapshot::default()
+        })
     }
 
     /// Graceful shutdown: stop accepting, drain the event queue, take a
@@ -352,6 +374,10 @@ fn event_loop(mut node: ClusterNode, rx: Receiver<Event>, peer_tx: HashMap<u32, 
             Event::ClientFrame(id, msg) => node.handle(ClusterPeer::Client(id), msg),
             Event::PeerFrame(n, msg) => node.handle(ClusterPeer::Node(n), msg),
             Event::Tick(now) => node.tick(now),
+            Event::Telemetry(flight, reply) => {
+                let _ = reply.send(node.telemetry_snapshot(flight));
+                continue;
+            }
             Event::Stop(finalize, ack) => {
                 if finalize {
                     node.engine.finalize_durability();

@@ -170,6 +170,7 @@ impl SimHarness {
                 to: t,
             },
             Message::NodeStatus { .. } => Message::NodeStatus { id },
+            Message::Metrics { flight, .. } => Message::Metrics { id, flight },
             other => other,
         };
         self.net.send(self.now, CLIENT_BASE + c as u32, to, msg);

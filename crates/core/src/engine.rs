@@ -22,6 +22,7 @@ use crate::updater::{OutputHint, UpdaterEntry, UpdaterIndex};
 use bytes::Bytes;
 use pequod_join::{JoinSpec, Operator};
 use pequod_store::{IntervalId, Key, KeyRange, LruTracker, RangeSet, Store, StoreStats, Value};
+use pequod_telemetry::{OpKind, RateHandle, Recorder};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -69,6 +70,12 @@ pub struct Engine {
     /// Mutation-capture sink for durable base writes (`pequod-persist`
     /// installs its write-ahead log here); `None` means volatile.
     pub(crate) durability: Option<Box<dyn Durability>>,
+    /// Telemetry sink; disabled by default, in which case every
+    /// recording call is a no-op (no atomics, no clock reads).
+    pub(crate) recorder: Recorder,
+    /// Cached per-table rate handles so the hot path never takes the
+    /// recorder's registration mutex.
+    pub(crate) rate_handles: HashMap<Key, RateHandle>,
 }
 
 impl Engine {
@@ -86,6 +93,8 @@ impl Engine {
             stats: EngineStats::default(),
             base_authority: None,
             durability: None,
+            recorder: Recorder::disabled(),
+            rate_handles: HashMap::new(),
         }
     }
 
@@ -97,6 +106,27 @@ impl Engine {
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// Installs a telemetry recorder. All subsequent operations feed
+    /// it; pass [`Recorder::disabled`] to turn recording back off.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+        self.rate_handles.clear();
+    }
+
+    /// The engine's telemetry recorder (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// The cached per-table rate handle for `key`'s table, registering
+    /// it on first sight. No-op handles when the recorder is disabled.
+    pub(crate) fn rate_for(&mut self, key: &Key) -> &RateHandle {
+        let table = key.table_prefix();
+        self.rate_handles
+            .entry(table.clone())
+            .or_insert_with(|| self.recorder.rate_handle(&table.to_string()))
     }
 
     /// Operation counters.
@@ -329,6 +359,7 @@ impl Engine {
     /// maintenance). Idempotence is what lets durable recovery and
     /// server restarts replay `addjoin` safely.
     pub fn add_join(&mut self, spec: JoinSpec) -> Result<JoinId, EngineError> {
+        let timer = self.recorder.timer();
         let text = spec.to_string();
         if let Some(existing) = self.joins.iter().position(|j| j.to_string() == text) {
             return Ok(JoinId(existing as u32));
@@ -346,6 +377,7 @@ impl Engine {
             self.persist_op(&DurableOp::AddJoin(text));
         }
         self.paranoid_check();
+        self.recorder.observe_op(OpKind::AddJoin, &timer);
         Ok(id)
     }
 
@@ -513,6 +545,10 @@ impl Engine {
     pub fn put(&mut self, key: impl Into<Key>, value: impl Into<Value>) {
         let key = key.into();
         let value = value.into();
+        let timer = self.recorder.timer();
+        if self.recorder.is_enabled() {
+            self.rate_for(&key).write();
+        }
         // `Key`/`Value` clone by reference count, so capture is cheap.
         self.write(key.clone(), Some(value.clone()), false);
         if self.durability.is_some() && self.is_durable_base(&key) {
@@ -520,17 +556,23 @@ impl Engine {
         }
         self.maintain_memory();
         self.paranoid_check();
+        self.recorder.observe_op(OpKind::Put, &timer);
     }
 
     /// Removes a key, running incremental maintenance. Logged to the
     /// durability sink under the same rules as [`Engine::put`].
     pub fn remove(&mut self, key: &Key) {
+        let timer = self.recorder.timer();
+        if self.recorder.is_enabled() {
+            self.rate_for(key).write();
+        }
         self.write(key.clone(), None, false);
         if self.durability.is_some() && self.is_durable_base(key) {
             self.persist_op(&DurableOp::Remove(key.clone()));
         }
         self.maintain_memory();
         self.paranoid_check();
+        self.recorder.observe_op(OpKind::Remove, &timer);
     }
 
     /// Applies a store modification and dispatches updaters.
@@ -564,6 +606,7 @@ impl Engine {
                 }
             }
         }
+        self.recorder.observe_fanout(work.len() as u64);
         for (node, entry) in work {
             self.dispatch(node, entry, &key, old.as_ref(), value.as_ref(), kind);
         }

@@ -11,6 +11,7 @@ use crate::updater::UpdaterEntry;
 use bytes::Bytes;
 use pequod_join::{containing_range, JoinSpec, Maintenance, Operator, SlotSet};
 use pequod_store::{Key, KeyRange, Value};
+use pequod_telemetry::OpKind;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -41,6 +42,10 @@ impl Engine {
     /// ranges that must be fetched for a complete answer (§3.3).
     pub fn scan(&mut self, range: &KeyRange) -> ScanResult {
         self.stats.scans += 1;
+        let timer = self.recorder.timer();
+        if self.recorder.is_enabled() {
+            self.rate_for(&range.first).read();
+        }
         let mut missing = Vec::new();
         if range.is_empty() {
             return ScanResult::default();
@@ -91,6 +96,7 @@ impl Engine {
         // observe a half-evicted store.
         self.maintain_memory();
         self.paranoid_check();
+        self.recorder.observe_op(OpKind::Scan, &timer);
         ScanResult { pairs, missing }
     }
 
@@ -123,6 +129,10 @@ impl Engine {
     /// ranges exactly as a scan would.
     pub fn count_result(&mut self, range: &KeyRange) -> CountResult {
         self.stats.scans += 1;
+        let timer = self.recorder.timer();
+        if self.recorder.is_enabled() {
+            self.rate_for(&range.first).read();
+        }
         let mut missing = Vec::new();
         if range.is_empty() {
             return CountResult::default();
@@ -170,6 +180,7 @@ impl Engine {
         };
         self.maintain_memory();
         self.paranoid_check();
+        self.recorder.observe_op(OpKind::Count, &timer);
         CountResult { count, missing }
     }
 
@@ -258,7 +269,12 @@ impl Engine {
                         self.teardown_jsrange(jidx, jsid, true);
                         self.materialize_gap(jidx, &extent, missing);
                     }
-                    Some(_) => self.lru.touch(EvictUnit::Js(jidx as u32, jsid)),
+                    Some(_) => {
+                        // The materialized range answered as-is: a
+                        // cache hit in the paper's §8 sense.
+                        self.recorder.lru_hit();
+                        self.lru.touch(EvictUnit::Js(jidx as u32, jsid))
+                    }
                     None => {}
                 }
             }
@@ -277,6 +293,7 @@ impl Engine {
         if gap.is_empty() {
             return;
         }
+        self.recorder.lru_miss();
         let spec = self.joins[jidx].clone();
         let want_updaters = matches!(spec.maintenance, Maintenance::Push);
         let mut plan: Vec<PlanEntry> = Vec::new();
@@ -754,8 +771,17 @@ impl Engine {
     fn evict_one(&mut self, unit: EvictUnit) -> bool {
         match unit {
             EvictUnit::Js(jidx, jsid) => {
+                let extent = self
+                    .status
+                    .get(jidx as usize)
+                    .and_then(|m| m.get(jsid))
+                    .map(|js| js.range());
                 self.teardown_jsrange(jidx as usize, jsid, true);
                 self.stats.js_evictions += 1;
+                self.recorder.evicted_js(|| match extent {
+                    Some(r) => format!("join {jidx} range {r:?}"),
+                    None => format!("join {jidx} js {}", jsid.0),
+                });
                 true
             }
             EvictUnit::Base(prefix) => {
@@ -822,6 +848,8 @@ impl Engine {
                     rs.clear();
                 }
                 self.stats.base_evictions += 1;
+                self.recorder
+                    .evicted_base(|| format!("table {prefix} ({} rows)", doomed.len()));
                 true
             }
         }

@@ -53,6 +53,7 @@ use crate::config::EngineConfig;
 use crate::engine::Engine;
 use crate::partition::Partition;
 use pequod_store::{Key, KeyRange, RangeSet, Value};
+use pequod_telemetry::{Recorder, Snapshot};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -810,6 +811,10 @@ pub struct ShardedEngine {
     handle: ShardedHandle,
     stats: Vec<Arc<ShardStats>>,
     threads: Vec<JoinHandle<()>>,
+    /// Per-shard telemetry handles (clones of the recorders installed
+    /// into each shard's engine via the setup hook); empty when
+    /// telemetry is off.
+    recorders: Vec<Recorder>,
 }
 
 impl ShardedEngine {
@@ -950,7 +955,35 @@ impl ShardedEngine {
             },
             stats,
             threads,
+            recorders: Vec::new(),
         })
+    }
+
+    /// Registers the per-shard telemetry recorders so
+    /// [`ShardedEngine::telemetry_snapshot`] can merge them. The
+    /// caller installs the same recorders into the shard engines via
+    /// the `new_with_setup` hook (each shard gets its own recorder;
+    /// handles here are cheap clones sharing those shards' metrics).
+    pub fn set_recorders(&mut self, recorders: Vec<Recorder>) {
+        self.recorders = recorders;
+    }
+
+    /// The registered per-shard recorders (empty when telemetry is
+    /// off).
+    pub fn recorders(&self) -> &[Recorder] {
+        &self.recorders
+    }
+
+    /// Merged telemetry across every shard: counters add, histograms
+    /// bucket-merge, flight rings interleave by timestamp — the exact
+    /// totals a single shared recorder would have seen, without any
+    /// cross-shard contention on the hot path.
+    pub fn telemetry_snapshot(&self, include_flight: bool) -> Snapshot {
+        let mut merged = Snapshot::default();
+        for r in &self.recorders {
+            merged.merge(&r.snapshot(include_flight));
+        }
+        merged
     }
 
     /// Number of shards.

@@ -65,6 +65,7 @@ const TAG_EPOCH_CHANGE: u8 = 19;
 const TAG_NOT_PRIMARY: u8 = 20;
 const TAG_MIGRATE: u8 = 21;
 const TAG_NODE_STATUS: u8 = 22;
+const TAG_METRICS: u8 = 23;
 
 /// Maximum nesting of `Batch` frames, to bound decoder recursion on
 /// malicious input. A batch of batches is already pathological; real
@@ -269,6 +270,11 @@ pub fn encode(msg: &Message, buf: &mut BytesMut) {
         Message::NodeStatus { id } => {
             buf.put_u8(TAG_NODE_STATUS);
             buf.put_u64_le(*id);
+        }
+        Message::Metrics { id, flight } => {
+            buf.put_u8(TAG_METRICS);
+            buf.put_u64_le(*id);
+            buf.put_u8(u8::from(*flight));
         }
     }
 }
@@ -497,6 +503,10 @@ fn decode_at(body: &[u8], depth: u8) -> Result<Message, CodecError> {
             to: r.u32()?,
         },
         TAG_NODE_STATUS => Message::NodeStatus { id: r.u64()? },
+        TAG_METRICS => Message::Metrics {
+            id: r.u64()?,
+            flight: r.u8()? != 0,
+        },
         t => return Err(CodecError::BadTag(t)),
     };
     Ok(msg)
@@ -724,6 +734,14 @@ mod tests {
             to: 2,
         });
         roundtrip(Message::NodeStatus { id: 20 });
+        roundtrip(Message::Metrics {
+            id: 21,
+            flight: true,
+        });
+        roundtrip(Message::Metrics {
+            id: 22,
+            flight: false,
+        });
     }
 
     #[test]

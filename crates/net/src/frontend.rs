@@ -30,6 +30,7 @@ use pequod_core::{
     ShardSubmitter, ShardedEngine,
 };
 use pequod_store::Key;
+use pequod_telemetry::{Snapshot, SnapshotFn};
 use std::collections::{HashMap, VecDeque};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
@@ -111,6 +112,26 @@ impl FrontendStats {
     }
 }
 
+/// Appends the frontend's serving counters to a telemetry snapshot so
+/// one scrape covers the engine and the serving path together.
+fn mirror_frontend_stats(stats: &FrontendStats, snap: &mut Snapshot) {
+    let s = stats.snapshot();
+    snap.counter("pequod_conns_accepted_total", &[], s.accepted);
+    snap.gauge("pequod_conns_active", &[], s.active);
+    snap.counter("pequod_frames_in_total", &[], s.frames_in);
+    snap.counter("pequod_replies_out_total", &[], s.replies_out);
+    snap.counter("pequod_bytes_in_total", &[], s.bytes_in);
+    snap.counter("pequod_bytes_out_total", &[], s.bytes_out);
+    snap.counter(
+        "pequod_backpressure_pauses_total",
+        &[],
+        s.backpressure_pauses,
+    );
+    snap.counter("pequod_conns_idle_closed_total", &[], s.idle_closed);
+    snap.counter("pequod_conns_stall_closed_total", &[], s.stall_closed);
+    snap.counter("pequod_codec_errors_total", &[], s.codec_errors);
+}
+
 /// Tuning for a [`FrontendServer`]. `Default` is production-shaped;
 /// tests shrink the timeouts and caps to exercise them quickly.
 #[derive(Clone, Debug)]
@@ -184,10 +205,16 @@ fn wake_reactor(wake: &UnixStream) {
 /// come back through the injection queue.
 struct SingleDispatch {
     work_tx: Sender<WorkItem>,
+    /// Answers [`Message::Metrics`] on the reactor thread — the
+    /// provider reads only atomics, never the engine lock.
+    provider: SnapshotFn,
 }
 
 impl Dispatch for SingleDispatch {
     fn begin(&mut self, token: u64, msg: Message) -> Option<Vec<Message>> {
+        if let Message::Metrics { id, flight } = msg {
+            return Some(vec![Message::metrics_reply(id, &(self.provider)(flight))]);
+        }
         match self.work_tx.send(WorkItem { token, msg }) {
             Ok(()) => None,
             // Workers are gone (shutdown in progress): nothing will
@@ -306,6 +333,8 @@ fn submit_run(
 struct ShardedDispatch {
     submitter: ShardSubmitter,
     reply_tx: Sender<(u64, Response)>,
+    /// Answers [`Message::Metrics`] without touching the shard queues.
+    provider: SnapshotFn,
     /// Connection token → its one in-progress frame (the reactor
     /// dispatches at most one frame per connection at a time).
     jobs: HashMap<u64, Job>,
@@ -315,10 +344,15 @@ struct ShardedDispatch {
 }
 
 impl ShardedDispatch {
-    fn new(submitter: ShardSubmitter, reply_tx: Sender<(u64, Response)>) -> ShardedDispatch {
+    fn new(
+        submitter: ShardSubmitter,
+        reply_tx: Sender<(u64, Response)>,
+        provider: SnapshotFn,
+    ) -> ShardedDispatch {
         ShardedDispatch {
             submitter,
             reply_tx,
+            provider,
             jobs: HashMap::new(),
             id_map: HashMap::new(),
             next_id: 1,
@@ -339,6 +373,12 @@ impl ShardedDispatch {
 
 impl Dispatch for ShardedDispatch {
     fn begin(&mut self, token: u64, msg: Message) -> Option<Vec<Message>> {
+        // Top-level telemetry requests are answered inline, exactly
+        // like the single-engine path (inside a Batch they fall through
+        // to "unsupported", matching every other serving surface).
+        if let Message::Metrics { id, flight } = msg {
+            return Some(vec![Message::metrics_reply(id, &(self.provider)(flight))]);
+        }
         let msgs = match msg {
             Message::Batch { msgs } => msgs,
             other => vec![other],
@@ -543,6 +583,7 @@ pub struct FrontendServer {
     addr: SocketAddr,
     unix_path: Option<PathBuf>,
     backend: Backend,
+    provider: SnapshotFn,
     injected: Arc<Mutex<VecDeque<Injected>>>,
     wake_tx: UnixStream,
     stopped: Arc<AtomicBool>,
@@ -591,6 +632,38 @@ impl FrontendServer {
         let injected: Arc<Mutex<VecDeque<Injected>>> = Arc::new(Mutex::new(VecDeque::new()));
         let (wake_rx, wake_tx) = UnixStream::pair()?;
         let stats = Arc::new(FrontendStats::default());
+        // The reactor records through the backend's own recorder (the
+        // engine's, or shard 0's), so one scrape covers engine state
+        // and the serving path together. A backend with telemetry
+        // disabled leaves every hook a no-op.
+        let recorder = match &backend {
+            Backend::Single(engine) => match engine.lock() {
+                Ok(e) => e.recorder().clone(),
+                Err(p) => p.into_inner().recorder().clone(),
+            },
+            Backend::Sharded(s) => s.recorders().first().cloned().unwrap_or_default(),
+        };
+        let provider: SnapshotFn = {
+            let stats = stats.clone();
+            match &backend {
+                Backend::Single(_) => {
+                    let recorder = recorder.clone();
+                    Arc::new(move |flight| {
+                        let mut snap = recorder.snapshot(flight);
+                        mirror_frontend_stats(&stats, &mut snap);
+                        snap
+                    })
+                }
+                Backend::Sharded(s) => {
+                    let sharded = s.clone();
+                    Arc::new(move |flight| {
+                        let mut snap = sharded.telemetry_snapshot(flight);
+                        mirror_frontend_stats(&stats, &mut snap);
+                        snap
+                    })
+                }
+            }
+        };
         let mut workers = Vec::new();
         let mut collector = None;
         let dispatch: Box<dyn Dispatch> = match &backend {
@@ -614,7 +687,10 @@ impl FrontendServer {
                         single_worker_loop(rx, engine, injected, wake);
                     }));
                 }
-                Box::new(SingleDispatch { work_tx: tx })
+                Box::new(SingleDispatch {
+                    work_tx: tx,
+                    provider: provider.clone(),
+                })
             }
             Backend::Sharded(sharded) => {
                 let (tx, rx) = channel::<(u64, Response)>();
@@ -623,7 +699,11 @@ impl FrontendServer {
                 collector = Some(std::thread::spawn(move || {
                     collector_loop(rx, injected_c, wake);
                 }));
-                Box::new(ShardedDispatch::new(sharded.submitter(), tx))
+                Box::new(ShardedDispatch::new(
+                    sharded.submitter(),
+                    tx,
+                    provider.clone(),
+                ))
             }
         };
         let tick_ms = cfg.tick_ms.max(1);
@@ -633,6 +713,7 @@ impl FrontendServer {
             max_pipeline: cfg.max_pipeline.max(1),
             idle_timeout_ticks: to_ticks(cfg.idle_timeout_ms),
             stall_timeout_ticks: to_ticks(cfg.stall_timeout_ms),
+            recorder,
         };
         let reactor = Reactor::new(
             listener,
@@ -657,6 +738,7 @@ impl FrontendServer {
             addr,
             unix_path: cfg.unix_path,
             backend,
+            provider,
             injected,
             wake_tx,
             stopped,
@@ -681,6 +763,14 @@ impl FrontendServer {
     /// Live serving counters.
     pub fn stats(&self) -> FrontendStatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// The server's telemetry provider: backend metrics (engine or
+    /// merged shards) plus the frontend's serving counters, the same
+    /// snapshot [`Message::Metrics`] answers with. `pequod-server`
+    /// hands this to the Prometheus scrape listener.
+    pub fn telemetry(&self) -> SnapshotFn {
+        self.provider.clone()
     }
 
     /// Shared access to the single-engine backend; `None` when serving

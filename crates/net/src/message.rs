@@ -231,6 +231,16 @@ pub enum Message {
         /// Request id.
         id: u64,
     },
+    /// Admin: asks any server for its telemetry snapshot, answered as
+    /// a [`Message::Reply`] pair list (flattened metric entries; see
+    /// `pequod_telemetry::Snapshot::to_pairs`). With `flight` set the
+    /// reply also carries the flight-recorder ring as `f|<seq>` pairs.
+    Metrics {
+        /// Request id.
+        id: u64,
+        /// Include the flight-recorder event ring in the reply.
+        flight: bool,
+    },
 }
 
 /// The reply-pair key under which a [`Message::Count`] answer carries
@@ -253,7 +263,8 @@ impl Message {
             | Message::SubscribeReply { id, .. }
             | Message::NotPrimary { id, .. }
             | Message::Migrate { id, .. }
-            | Message::NodeStatus { id } => Some(*id),
+            | Message::NodeStatus { id }
+            | Message::Metrics { id, .. } => Some(*id),
             Message::Notify { .. }
             | Message::Unsubscribe { .. }
             | Message::Batch { .. }
@@ -283,6 +294,22 @@ impl Message {
             pairs: Vec::new(),
             error: Some(error.into()),
         }
+    }
+
+    /// The reply to a [`Message::Metrics`] request: the snapshot's
+    /// flattened `(key, value)` pairs as a reply pair list. Every
+    /// serving surface (blocking TCP, event-driven frontend, cluster
+    /// node) answers through this one encoder so the wire shape cannot
+    /// diverge.
+    pub fn metrics_reply(id: u64, snapshot: &pequod_telemetry::Snapshot) -> Message {
+        Message::reply(
+            id,
+            snapshot
+                .to_pairs()
+                .into_iter()
+                .map(|(k, v)| (Key::from(k.as_str()), Value::from(v.into_bytes())))
+                .collect(),
+        )
     }
 
     /// The reply to a [`Message::Count`] request.

@@ -32,6 +32,7 @@ use crate::frontend::FrontendStats;
 use crate::message::Message;
 use bytes::Bytes;
 use pequod_core::Response;
+use pequod_telemetry::{Recorder, Timer};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -292,6 +293,9 @@ pub(crate) struct ReactorConfig {
     pub max_pipeline: usize,
     pub idle_timeout_ticks: Option<u64>,
     pub stall_timeout_ticks: Option<u64>,
+    /// Telemetry sink for dispatch latency, queue depths, and flight
+    /// events (backpressure trips, timeout closes). Disabled = no-op.
+    pub recorder: Recorder,
 }
 
 /// Reserved tokens (connection tokens never reach this range: their
@@ -308,6 +312,9 @@ struct Conn {
     pending: VecDeque<Message>,
     /// A frame is at the dispatcher; its replies have not arrived.
     inflight: bool,
+    /// Started when the in-flight frame was dispatched; observed into
+    /// the dispatch-latency histogram when its replies are queued.
+    dispatch_timer: Timer,
     /// Encoded reply frames not yet written out.
     wq: VecDeque<Bytes>,
     /// Write offset into `wq[0]`.
@@ -614,6 +621,7 @@ impl Reactor {
             decoder: FrameDecoder::new(),
             pending: VecDeque::new(),
             inflight: false,
+            dispatch_timer: Timer::disabled(),
             wq: VecDeque::new(),
             wq_pos: 0,
             wq_bytes: 0,
@@ -688,6 +696,8 @@ impl Reactor {
     fn queue_replies(&mut self, idx: usize, replies: Vec<Message>) {
         if let Some(conn) = self.conns[idx].as_mut() {
             conn.inflight = false;
+            let timer = std::mem::replace(&mut conn.dispatch_timer, Timer::disabled());
+            self.cfg.recorder.observe_dispatch(&timer);
             for reply in &replies {
                 conn.queue_frame(encode_frame(reply));
             }
@@ -745,6 +755,8 @@ impl Reactor {
                     match conn.pending.pop_front() {
                         Some(m) => {
                             conn.inflight = true;
+                            conn.dispatch_timer = cfg.recorder.timer();
+                            cfg.recorder.observe_queue_depth(conn.pending.len() as u64);
                             (conn.token, m)
                         }
                         None => break,
@@ -802,6 +814,14 @@ impl Reactor {
                 if want_r != conn.reg_read || want_w != conn.reg_write {
                     if conn.reg_read && !want_r && !conn.saw_eof && !conn.poisoned {
                         stats.backpressure_pauses.fetch_add(1, Ordering::Relaxed);
+                        cfg.recorder.flight("backpressure", || {
+                            format!(
+                                "conn {} reads paused (wq {} bytes, {} pending)",
+                                conn.token,
+                                conn.wq_bytes,
+                                conn.pending.len()
+                            )
+                        });
                     }
                     conn.reg_read = want_r;
                     conn.reg_write = want_w;
@@ -865,10 +885,16 @@ impl Reactor {
                 Verdict::Keep => {}
                 Verdict::Stalled => {
                     self.stats.stall_closed.fetch_add(1, Ordering::Relaxed);
+                    self.cfg
+                        .recorder
+                        .flight("stall_close", || format!("conn slot {idx} write-stalled"));
                     self.close_conn(idx);
                 }
                 Verdict::Idle => {
                     self.stats.idle_closed.fetch_add(1, Ordering::Relaxed);
+                    self.cfg
+                        .recorder
+                        .flight("idle_close", || format!("conn slot {idx} idle"));
                     self.close_conn(idx);
                 }
             }

@@ -12,14 +12,18 @@
 //! to frames positionally (the protocol answers frames in order), so a
 //! `Batch { msgs }` frame is counted as `msgs.len()` expected replies.
 //!
-//! The driver takes no timestamps; callers time the run themselves. A
-//! run that makes no progress for `max_stalls` consecutive waits fails
-//! with `TimedOut` instead of hanging the test suite.
+//! The driver times each request frame from queueing to its last reply
+//! (via [`pequod_telemetry::Timer`]) and reports the distribution in
+//! [`SwarmReport::latency`]; callers still time the run as a whole
+//! themselves. A run that makes no progress for `max_stalls`
+//! consecutive waits fails with `TimedOut` instead of hanging the test
+//! suite.
 
 use crate::codec::{encode_frame, FrameDecoder};
 use crate::message::Message;
 use crate::reactor::Poller;
 use bytes::Bytes;
+use pequod_telemetry::{Histogram, HistogramSnapshot, Timer};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -66,6 +70,11 @@ pub struct SwarmReport {
     pub bytes_out: u64,
     /// Bytes read.
     pub bytes_in: u64,
+    /// Per-request-frame latency in microseconds, from the frame being
+    /// queued for send to its last reply arriving — the closed-loop
+    /// client view, including local queueing behind the window. Query
+    /// with [`HistogramSnapshot::p50`] / `p99` / `mean`.
+    pub latency: HistogramSnapshot,
 }
 
 struct SwarmConn {
@@ -76,6 +85,8 @@ struct SwarmConn {
     out_pos: usize,
     /// Replies still owed per in-flight frame, in send order.
     expected: VecDeque<usize>,
+    /// Start times parallel to `expected`, one per in-flight frame.
+    timers: VecDeque<Timer>,
     sent: usize,
     reg_write: bool,
     done: bool,
@@ -114,6 +125,7 @@ impl Swarm {
             return Ok(report);
         }
         let depth = cfg.depth.max(1);
+        let latency = Histogram::new();
         let mut poller = Poller::new()?;
         let mut conns: Vec<SwarmConn> = Vec::with_capacity(cfg.conns);
         for i in 0..cfg.conns {
@@ -128,6 +140,7 @@ impl Swarm {
                 out: VecDeque::new(),
                 out_pos: 0,
                 expected: VecDeque::new(),
+                timers: VecDeque::new(),
                 sent: 0,
                 reg_write: false,
                 done: false,
@@ -170,7 +183,7 @@ impl Swarm {
                     continue;
                 }
                 if ev.readable || ev.error {
-                    pump_read(conn, &mut rdbuf, &mut on_reply, i, &mut report)?;
+                    pump_read(conn, &mut rdbuf, &mut on_reply, i, &mut report, &latency)?;
                 }
                 if ev.writable {
                     flush(conn, &mut report)?;
@@ -185,6 +198,7 @@ impl Swarm {
                 }
             }
         }
+        report.latency = latency.snapshot();
         Ok(report)
     }
 }
@@ -227,6 +241,7 @@ fn fill_window(
         let expect = expected_replies(&msg);
         if expect > 0 {
             conn.expected.push_back(expect);
+            conn.timers.push_back(Timer::start());
         }
         conn.out.push_back(encode_frame(&msg));
         conn.sent += 1;
@@ -265,6 +280,7 @@ fn pump_read(
     on_reply: &mut impl FnMut(usize, &Message),
     index: usize,
     report: &mut SwarmReport,
+    latency: &Histogram,
 ) -> std::io::Result<()> {
     loop {
         match conn.stream.read(rdbuf) {
@@ -291,6 +307,11 @@ fn pump_read(
                         *head -= 1;
                         if *head == 0 {
                             conn.expected.pop_front();
+                            if let Some(t) = conn.timers.pop_front() {
+                                if let Some(us) = t.elapsed_micros() {
+                                    latency.observe(us);
+                                }
+                            }
                         }
                     }
                 }

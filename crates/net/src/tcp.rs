@@ -105,8 +105,9 @@ impl TcpServer {
                     }
                     TcpBackend::Sharded(sharded) => {
                         let handle = sharded.client_handle();
+                        let sharded = sharded.clone();
                         std::thread::spawn(move || {
-                            let _ = serve_sharded_connection(stream, handle);
+                            let _ = serve_sharded_connection(stream, handle, sharded);
                         })
                     }
                 };
@@ -232,11 +233,33 @@ fn serve_frames(
 }
 
 fn serve_connection(stream: TcpStream, engine: Arc<Mutex<Engine>>) -> std::io::Result<()> {
-    serve_frames(stream, move |msg| handle_client_message(&engine, msg))
+    serve_frames(stream, move |msg| match msg {
+        // Telemetry is answered here, outside the generic handler, so
+        // the snapshot happens under one short lock acquisition.
+        Message::Metrics { id, flight } => {
+            let snapshot = engine
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .recorder()
+                .snapshot(flight);
+            vec![Message::metrics_reply(id, &snapshot)]
+        }
+        other => handle_client_message(&engine, other),
+    })
 }
 
-fn serve_sharded_connection(stream: TcpStream, mut handle: ShardedHandle) -> std::io::Result<()> {
-    serve_frames(stream, move |msg| handle_sharded_message(&mut handle, msg))
+fn serve_sharded_connection(
+    stream: TcpStream,
+    mut handle: ShardedHandle,
+    sharded: Arc<ShardedEngine>,
+) -> std::io::Result<()> {
+    serve_frames(stream, move |msg| match msg {
+        Message::Metrics { id, flight } => {
+            let snapshot = sharded.telemetry_snapshot(flight);
+            vec![Message::metrics_reply(id, &snapshot)]
+        }
+        other => handle_sharded_message(&mut handle, other),
+    })
 }
 
 /// Translates one wire message into unified-client commands and back.
@@ -681,5 +704,24 @@ impl TcpClient {
             text: text.into(),
         })?;
         Ok(())
+    }
+
+    /// The server's telemetry snapshot as flattened `(key, value)`
+    /// string pairs — the [`Message::metrics_reply`] shape: scalar
+    /// counters/gauges, `name.count/.sum/.p50/...` histogram sub-keys,
+    /// and (with `flight`) `f|<seq>` flight-recorder lines. This is
+    /// what `pequod-stats` polls.
+    pub fn metrics(&mut self, flight: bool) -> Result<Vec<(String, String)>, ClientError> {
+        let id = self.fresh_id();
+        let pairs = self.call(Message::Metrics { id, flight })?;
+        Ok(pairs
+            .into_iter()
+            .map(|(k, v)| {
+                (
+                    String::from_utf8_lossy(k.as_bytes()).into_owned(),
+                    String::from_utf8_lossy(&v).into_owned(),
+                )
+            })
+            .collect())
     }
 }

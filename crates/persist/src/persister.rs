@@ -8,6 +8,7 @@ use crate::snapshot::{sync_dir, write_snapshot};
 use pequod_core::partition::Partition;
 use pequod_core::{Durability, DurableOp, Engine, EngineConfig, ShardedEngine};
 use pequod_store::{Key, Value};
+use pequod_telemetry::Recorder;
 use std::io;
 use std::path::Path;
 use std::sync::Arc;
@@ -58,6 +59,9 @@ pub struct Persister {
     opts: PersistOptions,
     since_snapshot: u64,
     stats: PersistStats,
+    /// Telemetry sink for append/fsync latency and snapshot volume;
+    /// disabled by default (every hook is then a no-op).
+    recorder: Recorder,
 }
 
 impl Persister {
@@ -79,6 +83,7 @@ impl Persister {
             opts,
             since_snapshot: 0,
             stats: PersistStats::default(),
+            recorder: Recorder::disabled(),
         })
     }
 
@@ -87,29 +92,41 @@ impl Persister {
         self.stats
     }
 
+    /// Routes WAL append/fsync latency and snapshot volume to
+    /// `recorder`. [`attach`] installs the engine's own recorder so the
+    /// persistence metrics land in the same scrape.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
     /// Publishes `joins`/`pairs` as a new snapshot generation and
     /// truncates the log: write `snap-(g+1)`, open `wal-(g+1)`, delete
     /// generation `g`. Crash-safe at every step — recovery always finds
     /// either the old generation intact or the new snapshot complete.
     pub fn compact(&mut self, joins: &[String], pairs: &[(Key, Value)]) -> io::Result<()> {
         let next = self.dir.current_generation()?.saturating_add(1);
-        write_snapshot(&self.dir.snap_path(next), joins, pairs)?;
+        let snap_path = self.dir.snap_path(next);
+        write_snapshot(&snap_path, joins, pairs)?;
         self.writer = LogWriter::open_append(self.dir.wal_path(next), self.opts.fsync)?;
         sync_dir(self.dir.root())?;
         self.dir.remove_generations_before(next)?;
         self.since_snapshot = 0;
         self.stats.snapshots_taken += 1;
+        let bytes = std::fs::metadata(&snap_path).map(|m| m.len()).unwrap_or(0);
+        self.recorder.snapshot_taken(bytes);
         Ok(())
     }
 }
 
 impl Durability for Persister {
     fn log(&mut self, op: &DurableOp) -> bool {
+        let timer = self.recorder.timer();
         self.writer
             .append(op)
             // audit: allow(no-unwrap) — durability policy: a write the WAL
             // cannot record must not be acknowledged, so crash the server.
             .unwrap_or_else(|e| panic!("pequod-persist: WAL append failed: {e}"));
+        self.recorder.wal_append(&timer);
         self.stats.records_logged += 1;
         self.since_snapshot += 1;
         matches!(self.opts.snapshot_every, Some(n) if self.since_snapshot >= n)
@@ -123,12 +140,14 @@ impl Durability for Persister {
     }
 
     fn sync(&mut self) {
+        let timer = self.recorder.timer();
         self.writer
             .sync()
             // audit: allow(no-unwrap) — same policy as `log`: a sync the
             // caller depends on (shutdown, replication ack) must not fail
             // silently.
             .unwrap_or_else(|e| panic!("pequod-persist: WAL fsync failed: {e}"));
+        self.recorder.wal_fsync(&timer);
     }
 }
 
@@ -211,6 +230,7 @@ pub fn attach(
         std::fs::rename(corrupt, &aside)?;
     }
     let mut persister = Persister::create(&root, opts)?;
+    persister.set_recorder(engine.recorder().clone());
     // A clean restart that replayed nothing has nothing to compact:
     // skipping keeps restart loops O(1) in disk writes instead of
     // rewriting a full snapshot of the dataset per cycle. Any replayed
@@ -246,6 +266,12 @@ pub fn attach(
 /// are the home shard's responsibility), so the shard directories are
 /// disjoint and replaying them in any shard order rebuilds the same
 /// base state.
+///
+/// `recorders[i]`, when present, becomes shard `i`'s telemetry sink —
+/// installed before recovery so WAL/snapshot latency is captured from
+/// the first record. The recorders are also registered on the built
+/// engine (see [`ShardedEngine::telemetry_snapshot`]); pass `&[]` for
+/// no telemetry.
 pub fn open_sharded(
     shards: usize,
     config: EngineConfig,
@@ -253,14 +279,20 @@ pub fn open_sharded(
     partitioned_tables: &[&str],
     root: impl AsRef<Path>,
     opts: PersistOptions,
+    recorders: &[Recorder],
 ) -> Result<ShardedEngine, String> {
     let root = root.as_ref().to_path_buf();
-    ShardedEngine::new_with_setup(
+    let per_shard: Vec<Recorder> = recorders.to_vec();
+    let setup_recorders = per_shard.clone();
+    let mut built = ShardedEngine::new_with_setup(
         shards,
         config,
         partition,
         partitioned_tables,
         move |shard, engine| {
+            if let Some(r) = setup_recorders.get(shard) {
+                engine.set_recorder(r.clone());
+            }
             let report = attach(engine, root.join(format!("shard-{shard}")), opts)
                 .map_err(|e| format!("shard {shard}: {e}"))?;
             if let Some(corruption) = &report.corruption {
@@ -270,7 +302,9 @@ pub fn open_sharded(
             }
             Ok(())
         },
-    )
+    )?;
+    built.set_recorders(per_shard);
+    Ok(built)
 }
 
 #[cfg(test)]
@@ -525,6 +559,7 @@ mod tests {
                 &["p|", "s|"],
                 &t.0,
                 no_snap(),
+                &[],
             )
             .unwrap();
             s.add_join(TIMELINE).unwrap();
@@ -548,6 +583,7 @@ mod tests {
             &["p|", "s|"],
             &t.0,
             no_snap(),
+            &[],
         )
         .unwrap();
         for prefix in ["t|ann|", "t|cat|", "p|", "s|"] {

@@ -1,0 +1,132 @@
+//! The flight recorder: a fixed-size ring of recent structured events.
+//!
+//! Low-frequency, high-signal happenings (evictions, failovers, slow
+//! ops over a threshold, backpressure trips) are pushed into a bounded
+//! ring buffer and can be dumped on demand — the observability
+//! equivalent of a black box. Pushes take a short mutex; this is fine
+//! because flight events are rare by construction (the hot path only
+//! records one when something unusual happened).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One structured event captured by the flight recorder.
+#[derive(Clone, Debug)]
+pub struct FlightEvent {
+    /// Monotone per-recorder sequence number (never reused, so a
+    /// consumer can detect how many events the ring evicted between
+    /// two dumps).
+    pub seq: u64,
+    /// Microseconds since the recorder was created.
+    pub at_micros: u64,
+    /// Static event class, e.g. `"evict"`, `"failover"`, `"slow_op"`,
+    /// `"backpressure"`.
+    pub kind: &'static str,
+    /// Free-form human-readable detail.
+    pub detail: String,
+}
+
+impl FlightEvent {
+    /// `+12.345s evict …` one-line rendering used by dumps.
+    pub fn render(&self) -> String {
+        format!(
+            "+{}.{:06}s {} {}",
+            self.at_micros / 1_000_000,
+            self.at_micros % 1_000_000,
+            self.kind,
+            self.detail
+        )
+    }
+}
+
+/// Bounded ring buffer of [`FlightEvent`]s.
+#[derive(Debug)]
+pub struct Flight {
+    ring: Mutex<FlightRing>,
+    cap: usize,
+}
+
+#[derive(Debug, Default)]
+struct FlightRing {
+    events: VecDeque<FlightEvent>,
+    next_seq: u64,
+}
+
+impl Flight {
+    /// A ring holding at most `cap` events (oldest evicted first).
+    pub fn new(cap: usize) -> Flight {
+        Flight {
+            ring: Mutex::new(FlightRing::default()),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&self, at_micros: u64, kind: &'static str, detail: String) {
+        // A poisoned mutex only means a panicking thread died mid-push;
+        // the ring contents are still a valid VecDeque, so keep going.
+        let mut ring = match self.ring.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.events.len() == self.cap {
+            ring.events.pop_front();
+        }
+        ring.events.push_back(FlightEvent {
+            seq,
+            at_micros,
+            kind,
+            detail,
+        });
+    }
+
+    /// Copies out the current contents, oldest first.
+    pub fn dump(&self) -> Vec<FlightEvent> {
+        let ring = match self.ring.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        ring.events.iter().cloned().collect()
+    }
+
+    /// Total events ever pushed (including ones the ring has evicted).
+    pub fn total(&self) -> u64 {
+        let ring = match self.ring.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        ring.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_keeps_seq() {
+        let f = Flight::new(3);
+        for i in 0..5u64 {
+            f.push(i * 10, "evict", format!("unit {i}"));
+        }
+        let dump = f.dump();
+        assert_eq!(dump.len(), 3);
+        assert_eq!(dump[0].seq, 2);
+        assert_eq!(dump[2].seq, 4);
+        assert_eq!(f.total(), 5);
+        assert_eq!(dump[0].detail, "unit 2");
+    }
+
+    #[test]
+    fn render_formats_seconds() {
+        let e = FlightEvent {
+            seq: 0,
+            at_micros: 1_500_000,
+            kind: "slow_op",
+            detail: "scan 1500us".into(),
+        };
+        assert_eq!(e.render(), "+1.500000s slow_op scan 1500us");
+    }
+}

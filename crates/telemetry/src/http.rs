@@ -1,0 +1,181 @@
+//! Hand-rolled single-threaded HTTP responder for Prometheus scrapes.
+//!
+//! One accept loop on one thread, one request per connection, no
+//! keep-alive: exactly what a scrape endpoint needs and nothing more.
+//! `GET /metrics` returns the exposition text, `GET /flight` the
+//! rendered flight-recorder ring, anything else 404. The responder is
+//! deliberately off the serving path — a slow or malicious scraper can
+//! only stall its own connection, never the engine.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::SnapshotFn;
+
+/// Background metrics scrape endpoint bound to a TCP address.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` and spawns the accept loop. `provider` is invoked
+    /// per scrape; its argument is `true` when the flight ring should
+    /// be included (the `/flight` route).
+    pub fn spawn(addr: &str, provider: SnapshotFn) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("metrics-http".into())
+            .spawn(move || accept_loop(listener, provider, stop2))?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the accept loop and joins it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection; if it
+        // fails the loop still exits on its accept-timeout fallback.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, provider: SnapshotFn, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let mut stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        serve_one(&mut stream, &provider);
+    }
+}
+
+/// Reads the request head (up to the blank line or 4 KiB), routes,
+/// writes one HTTP/1.0 response.
+fn serve_one(stream: &mut TcpStream, provider: &SnapshotFn) {
+    let mut buf = [0u8; 4096];
+    let mut n = 0usize;
+    loop {
+        match stream.read(&mut buf[n..]) {
+            Ok(0) => break,
+            Ok(m) => {
+                n += m;
+                if buf[..n].windows(4).any(|w| w == b"\r\n\r\n") || n == buf.len() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    if n == 0 {
+        return;
+    }
+    let head = String::from_utf8_lossy(&buf[..n]);
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, body) = if method != "GET" {
+        ("405 Method Not Allowed", "method not allowed\n".to_string())
+    } else {
+        match path {
+            "/metrics" | "/" => ("200 OK", provider(false).to_prometheus()),
+            "/flight" => {
+                let snap = provider(true);
+                let mut out = String::new();
+                for ev in &snap.flight {
+                    out.push_str(&ev.render());
+                    out.push('\n');
+                }
+                if out.is_empty() {
+                    out.push_str("(flight ring empty)\n");
+                }
+                ("200 OK", out)
+            }
+            _ => ("404 Not Found", "not found\n".to_string()),
+        }
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Snapshot;
+
+    fn fetch(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let req = format!("GET {path} HTTP/1.0\r\n\r\n");
+        s.write_all(req.as_bytes()).expect("write");
+        let mut out = String::new();
+        s.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    #[test]
+    fn serves_metrics_and_routes() {
+        let provider: SnapshotFn = Arc::new(|flight| {
+            let mut s = Snapshot::default();
+            s.counter("test_total", &[], 42);
+            if flight {
+                s.flight.push(crate::FlightEvent {
+                    seq: 0,
+                    at_micros: 5,
+                    kind: "evict",
+                    detail: "x".into(),
+                });
+            }
+            s
+        });
+        let srv = MetricsServer::spawn("127.0.0.1:0", provider).expect("spawn");
+        let addr = srv.local_addr();
+        let metrics = fetch(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.0 200 OK"));
+        assert!(metrics.contains("test_total 42"));
+        let flight = fetch(addr, "/flight");
+        assert!(flight.contains("evict x"));
+        let missing = fetch(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.0 404"));
+        srv.stop();
+    }
+}

@@ -7,6 +7,7 @@
 //!               [--data-dir DIR] [--snapshot-every N]
 //!               [--fsync never|always|every:N] [--paranoid]
 //!               [--net-model reactor|threads] [--unix-socket PATH]
+//!               [--metrics-addr HOST:PORT]
 //!               [--cluster nodes.toml --node-id N]
 //! ```
 //!
@@ -55,6 +56,13 @@
 //! for per-node durability; `--listen` overrides this node's address
 //! from the cluster file (useful for tests with ephemeral ports).
 //!
+//! `--metrics-addr HOST:PORT` turns telemetry recording on and serves
+//! a Prometheus text scrape at `http://HOST:PORT/metrics` (plus the
+//! flight-recorder dump at `/flight`); see `docs/OBSERVABILITY.md`.
+//! Without the flag the recorder stays disabled and every hot-path
+//! hook is a no-op. The same snapshot is always available on the wire
+//! as a `Metrics` frame — that is what `pequod-stats` polls.
+//!
 //! The server exits cleanly on SIGTERM: it stops accepting
 //! connections, drains in-flight requests, takes a final durability
 //! snapshot, and fsyncs before exiting — a rolling restart loses
@@ -65,6 +73,7 @@ use pequod::core::partition::ComponentHashPartition;
 use pequod::core::{Client, Engine, EngineConfig, MemoryLimit, ShardedEngine};
 use pequod::persist::{FsyncPolicy, PersistOptions};
 use pequod::store::StoreConfig;
+use pequod::telemetry::{MetricsServer, Recorder, SnapshotFn};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -117,6 +126,7 @@ fn main() {
     let mut listen_set = false;
     let mut net_model = "reactor".to_string();
     let mut unix_socket: Option<PathBuf> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -190,6 +200,9 @@ fn main() {
                     args.next().expect("--unix-socket needs a path"),
                 ));
             }
+            "--metrics-addr" => {
+                metrics_addr = Some(args.next().expect("--metrics-addr needs HOST:PORT"));
+            }
             "--cluster" => {
                 cluster_file = Some(args.next().expect("--cluster needs a nodes.toml path"));
             }
@@ -209,6 +222,7 @@ fn main() {
                      [--data-dir DIR] [--snapshot-every N] \
                      [--fsync never|always|every:N] [--paranoid] \
                      [--net-model reactor|threads] [--unix-socket PATH] \
+                     [--metrics-addr HOST:PORT] \
                      [--cluster nodes.toml --node-id N]"
                 );
                 return;
@@ -268,6 +282,11 @@ fn main() {
         let cluster_cfg =
             ClusterConfig::parse(&text).unwrap_or_else(|e| panic!("bad cluster file {path}: {e}"));
         let mut engine = Engine::new(config);
+        if metrics_addr.is_some() {
+            // Before `attach` so the persister clones an enabled
+            // recorder and WAL latency is captured from record one.
+            engine.set_recorder(Recorder::enabled());
+        }
         if let Some(dir) = &data_dir {
             let report = pequod::persist::attach(&mut engine, dir, persist_opts)
                 .unwrap_or_else(|e| panic!("cannot recover {}: {e}", dir.display()));
@@ -290,9 +309,18 @@ fn main() {
         };
         let mut server = ClusterServer::spawn(cluster_cfg, id, engine, addr_override)
             .unwrap_or_else(|e| panic!("cannot serve cluster node {id}: {e}"));
+        let metrics = metrics_addr.as_deref().map(|addr| {
+            let ms = MetricsServer::spawn(addr, server.telemetry())
+                .unwrap_or_else(|e| panic!("cannot serve metrics on {addr}: {e}"));
+            eprintln!("telemetry: scrape http://{}/metrics", ms.local_addr());
+            ms
+        });
         eprintln!("pequod-server listening on {}", server.addr());
         wait_for_sigterm();
         server.halt();
+        if let Some(ms) = metrics {
+            ms.stop();
+        }
         return;
     }
     let reactor_model = match net_model.as_str() {
@@ -320,12 +348,43 @@ fn main() {
             component: shard_component,
             servers: shards as u32,
         });
+        // With telemetry on, every shard gets its own recorder (no
+        // cross-shard contention); snapshots merge them on demand.
+        let recorders: Vec<Recorder> = if metrics_addr.is_some() {
+            (0..shards).map(|_| Recorder::enabled()).collect()
+        } else {
+            Vec::new()
+        };
         let mut sharded = match &data_dir {
-            Some(dir) => {
-                pequod::persist::open_sharded(shards, config, partition, &tables, dir, persist_opts)
-                    .unwrap_or_else(|e| panic!("cannot recover shards: {e}"))
+            Some(dir) => pequod::persist::open_sharded(
+                shards,
+                config,
+                partition,
+                &tables,
+                dir,
+                persist_opts,
+                &recorders,
+            )
+            .unwrap_or_else(|e| panic!("cannot recover shards: {e}")),
+            None if recorders.is_empty() => ShardedEngine::new(shards, config, partition, &tables),
+            None => {
+                let per_shard = recorders.clone();
+                let mut built = ShardedEngine::new_with_setup(
+                    shards,
+                    config,
+                    partition,
+                    &tables,
+                    move |shard, engine| {
+                        if let Some(r) = per_shard.get(shard) {
+                            engine.set_recorder(r.clone());
+                        }
+                        Ok(())
+                    },
+                )
+                .unwrap_or_else(|e| panic!("cannot start shards: {e}"));
+                built.set_recorders(recorders.clone());
+                built
             }
-            None => ShardedEngine::new(shards, config, partition, &tables),
         };
         install(&mut sharded);
         eprintln!(
@@ -339,6 +398,11 @@ fn main() {
         }
     } else {
         let mut engine = Engine::new(config);
+        if metrics_addr.is_some() {
+            // Before `attach` so the persister clones an enabled
+            // recorder and WAL latency is captured from record one.
+            engine.set_recorder(Recorder::enabled());
+        }
         if let Some(dir) = &data_dir {
             let report = pequod::persist::attach(&mut engine, dir, persist_opts)
                 .unwrap_or_else(|e| panic!("cannot recover {}: {e}", dir.display()));
@@ -375,12 +439,21 @@ fn main() {
             None => String::new(),
         }
     );
+    let metrics = metrics_addr.as_deref().map(|addr| {
+        let ms = MetricsServer::spawn(addr, server.telemetry())
+            .unwrap_or_else(|e| panic!("cannot serve metrics on {addr}: {e}"));
+        eprintln!("telemetry: scrape http://{}/metrics", ms.local_addr());
+        ms
+    });
     // Tests parse the address off this line: keep it the tail.
     eprintln!("pequod-server listening on {}", server.addr());
     // Serve until SIGTERM, then drain and finalize durability so a
     // rolling restart loses nothing.
     wait_for_sigterm();
     server.shutdown_finalize();
+    if let Some(ms) = metrics {
+        ms.stop();
+    }
 }
 
 /// Either serving front-end behind one shutdown surface.
@@ -403,6 +476,30 @@ impl FrontServer {
         match self {
             FrontServer::Threads(s) => s.shutdown_finalize(),
             FrontServer::Reactor(s) => s.shutdown_finalize(),
+        }
+    }
+
+    /// A snapshot provider for the metrics listener. The reactor hands
+    /// out its own (backend recorder plus front-end counters); the
+    /// threads model snapshots the backend recorder(s) directly.
+    fn telemetry(&self) -> SnapshotFn {
+        match self {
+            FrontServer::Reactor(s) => s.telemetry(),
+            FrontServer::Threads(s) => {
+                if let Some(sharded) = s.sharded() {
+                    return Arc::new(move |flight| sharded.telemetry_snapshot(flight));
+                }
+                let recorder = s
+                    .engine()
+                    .map(|e| {
+                        e.lock()
+                            .unwrap_or_else(|p| p.into_inner())
+                            .recorder()
+                            .clone()
+                    })
+                    .unwrap_or_default();
+                Arc::new(move |flight| recorder.snapshot(flight))
+            }
         }
     }
 }

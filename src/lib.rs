@@ -22,6 +22,10 @@
 //!   snapshots with log truncation, warm restart
 //!   (`pequod-server --data-dir`); computed join ranges are never
 //!   persisted — recovery replays base writes and re-derives.
+//! * [`telemetry`] — runtime metrics: lock-free counters and latency
+//!   histograms behind a no-op-when-disabled recorder, the flight
+//!   recorder of recent notable events, and the Prometheus scrape
+//!   listener (`pequod-server --metrics-addr`).
 //! * [`workloads`] — Twip and Newp applications and workload
 //!   generators.
 //! * [`baselines`] — the comparison systems of the paper's Figure 7.
@@ -82,6 +86,7 @@ pub use pequod_join as join;
 pub use pequod_net as net;
 pub use pequod_persist as persist;
 pub use pequod_store as store;
+pub use pequod_telemetry as telemetry;
 pub use pequod_workloads as workloads;
 
 /// The most common imports.

@@ -11,6 +11,7 @@ use pequod::core::{Client, Command, Engine, EngineConfig, MemoryLimit, Response,
 use pequod::db::WriteAround;
 use pequod::net::{ClusterClient, ServerId, ServerNode, SimCluster, SimConfig, TablePartition};
 use pequod::prelude::*;
+use pequod::telemetry::Recorder;
 use std::sync::Arc;
 
 /// Tables the scripts touch; write-around and cluster deployments treat
@@ -373,4 +374,91 @@ fn capped_backends_answer_like_uncapped_ones() {
             footprint
         );
     }
+}
+
+/// An engine with a live telemetry recorder, for the on/off contract
+/// below.
+fn telemetered_engine() -> Engine {
+    let mut e = Engine::new(EngineConfig::default());
+    e.set_recorder(Recorder::enabled());
+    e
+}
+
+/// The join-capable pequod backends with telemetry recording on every
+/// engine, mirroring `backends(true)` name for name.
+fn telemetered_backends() -> Vec<BackendFactory> {
+    vec![
+        (
+            "engine",
+            Box::new(|| Box::new(telemetered_engine()) as Box<dyn Client>),
+        ),
+        (
+            "sharded",
+            Box::new(|| {
+                let part = Arc::new(TablePartition::new(ServerId(0)).route("p|", ServerId(1)));
+                let sharded = ShardedEngine::new_with_setup(
+                    2,
+                    EngineConfig::default(),
+                    part,
+                    TABLES,
+                    |_, e| {
+                        e.set_recorder(Recorder::enabled());
+                        Ok(())
+                    },
+                )
+                .unwrap_or_else(|e| panic!("sharded setup: {e}"));
+                Box::new(sharded) as Box<dyn Client>
+            }),
+        ),
+        (
+            "writearound",
+            Box::new(|| {
+                Box::new(WriteAround::new(
+                    telemetered_engine(),
+                    &["p|", "s|", "acct|"],
+                )) as Box<dyn Client>
+            }),
+        ),
+        (
+            "cluster",
+            Box::new(|| {
+                let part = Arc::new(TablePartition::new(ServerId(0)).route("p|", ServerId(1)));
+                let nodes = (0..2)
+                    .map(|i| {
+                        ServerNode::new(ServerId(i), telemetered_engine(), part.clone(), TABLES)
+                    })
+                    .collect();
+                Box::new(ClusterClient::new(
+                    SimCluster::new(SimConfig::default(), nodes),
+                    part,
+                )) as Box<dyn Client>
+            }),
+        ),
+    ]
+}
+
+/// Telemetry must be invisible to clients: with an enabled recorder on
+/// every engine, each backend answers both scripts byte-identically to
+/// its untelemetered twin — recording observes the data path, it never
+/// participates in it. (The recorder is provably live: the engine
+/// variant must have counted the script's operations.)
+#[test]
+fn telemetry_on_answers_are_byte_identical() {
+    for script_of in [kv_script as fn() -> Vec<Command>, join_script] {
+        for ((name, plain), (tname, telemetered)) in
+            backends(true).into_iter().zip(telemetered_backends())
+        {
+            assert_eq!(name, tname, "factory lists diverged");
+            let want = run_script(&mut *plain(), script_of());
+            let got = run_script(&mut *telemetered(), script_of());
+            assert_eq!(got, want, "{name}: telemetry changed the answers");
+        }
+    }
+    let mut engine = telemetered_engine();
+    run_script(&mut engine, join_script());
+    let snap = engine.recorder().snapshot(false);
+    assert!(
+        snap.to_prometheus().contains("pequod_op_total"),
+        "recorder was not live during the conformance run"
+    );
 }

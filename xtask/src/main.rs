@@ -1,9 +1,15 @@
 //! `cargo xtask` — workspace automation for the Pequod reproduction.
 //!
-//! The only subcommand today is `audit`: a hand-rolled, zero-dependency
-//! lexical lint pass over the first-party crates. There is no registry
-//! access in the build environment, so no `syn`; the auditor works on
-//! lines and tokens, the same discipline as the vendored-deps build.
+//! Subcommands:
+//!
+//! * `audit` — a hand-rolled, zero-dependency lexical lint pass over
+//!   the first-party crates. There is no registry access in the build
+//!   environment, so no `syn`; the auditor works on lines and tokens,
+//!   the same discipline as the vendored-deps build.
+//! * `bench-index` — validates the `BENCH_*.json` artifacts every
+//!   bench binary's `--json` flag emits against the shared row schema
+//!   (see `bench_index.rs`), so field names can never drift apart
+//!   between binaries again.
 //!
 //! Rules (see `docs/CORRECTNESS.md` for the full contract):
 //!
@@ -15,7 +21,10 @@
 //! * `wall-clock` — `std::time::SystemTime` / `Instant::now` are
 //!   forbidden outside `bench` and `workloads`: the serving path must
 //!   stay deterministic (the simulator's virtual clock is the only
-//!   time source experiments may observe).
+//!   time source experiments may observe). The rule is *scoped*: the
+//!   telemetry crate alone is waived for `Instant::now` (monotonic
+//!   latency measurement) while `SystemTime` stays denied even there
+//!   (see `docs/OBSERVABILITY.md` for the waiver rationale).
 //! * `lock-across-io` — in `net`, a `Mutex` guard bound by `let` must
 //!   not be held across a socket I/O call, and no single statement may
 //!   both lock and perform I/O.
@@ -43,6 +52,7 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+mod bench_index;
 mod lexer;
 mod rules;
 mod selftest;
@@ -57,6 +67,12 @@ pub use rules::{audit_source, CrateRules, Violation};
 /// `workloads`); `lock-across-io` covers the transport crate;
 /// `safety-comment` applies everywhere.
 const ROOTS: &[(&str, CrateRules)] = &[
+    // Telemetry is the one root waived for Instant::now (monotonic
+    // measurement); every other serving rule still applies to it.
+    (
+        "crates/telemetry/src",
+        CrateRules::serving().allow_instant(),
+    ),
     ("crates/store/src", CrateRules::serving()),
     ("crates/join/src", CrateRules::serving()),
     ("crates/core/src", CrateRules::serving()),
@@ -76,8 +92,10 @@ fn main() {
     let code = match args.first().map(String::as_str) {
         Some("audit") if args.iter().any(|a| a == "--self-test") => selftest::run(),
         Some("audit") => run_audit(),
+        Some("bench-index") => bench_index::run(&args[1..]),
         _ => {
             eprintln!("usage: cargo xtask audit [--self-test]");
+            eprintln!("       cargo xtask bench-index [BENCH_*.json ...]");
             2
         }
     };

@@ -2,13 +2,30 @@
 
 use crate::lexer::FileText;
 
+/// Scope of the wall-clock rule for a source root.
+///
+/// The rule is scoped rather than boolean so a single root can hold a
+/// narrow waiver: the telemetry crate measures real latencies and is
+/// allowed monotonic `Instant::now`, while calendar time
+/// (`SystemTime`) stays banned everywhere deterministic.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum WallClock {
+    /// Both `SystemTime` and `Instant::now` are violations.
+    Deny,
+    /// `Instant::now` is permitted (monotonic measurement only);
+    /// `SystemTime` is still a violation.
+    AllowInstant,
+    /// No wall-clock checking (measurement crates).
+    Off,
+}
+
 /// Which rule families apply to a source root.
 #[derive(Clone, Copy)]
 pub struct CrateRules {
     /// Deny `unwrap()` / `expect()` / `panic!` / `todo!` outside tests.
     pub no_unwrap: bool,
-    /// Forbid `SystemTime` / `Instant::now` (determinism).
-    pub wall_clock: bool,
+    /// Wall-clock rule scope (see [`WallClock`]).
+    pub wall_clock: WallClock,
     /// Flag mutex guards held across socket I/O.
     pub lock_io: bool,
 }
@@ -18,7 +35,7 @@ impl CrateRules {
     pub const fn serving() -> CrateRules {
         CrateRules {
             no_unwrap: true,
-            wall_clock: true,
+            wall_clock: WallClock::Deny,
             lock_io: false,
         }
     }
@@ -29,11 +46,18 @@ impl CrateRules {
         self
     }
 
+    /// Narrows the wall-clock rule to permit `Instant::now` (the
+    /// telemetry crate's waiver; `SystemTime` stays denied).
+    pub const fn allow_instant(mut self) -> CrateRules {
+        self.wall_clock = WallClock::AllowInstant;
+        self
+    }
+
     /// Non-serving but deterministic code (tools, baselines, binaries).
     pub const fn deterministic() -> CrateRules {
         CrateRules {
             no_unwrap: false,
-            wall_clock: true,
+            wall_clock: WallClock::Deny,
             lock_io: false,
         }
     }
@@ -42,7 +66,7 @@ impl CrateRules {
     pub const fn relaxed() -> CrateRules {
         CrateRules {
             no_unwrap: false,
-            wall_clock: false,
+            wall_clock: WallClock::Off,
             lock_io: false,
         }
     }
@@ -51,7 +75,7 @@ impl CrateRules {
     pub const fn strict() -> CrateRules {
         CrateRules {
             no_unwrap: true,
-            wall_clock: true,
+            wall_clock: WallClock::Deny,
             lock_io: true,
         }
     }
@@ -95,8 +119,8 @@ pub fn audit_source(src: &str, rules: &CrateRules) -> Report {
     if rules.no_unwrap {
         check_no_unwrap(&text, &mut raw);
     }
-    if rules.wall_clock {
-        check_wall_clock(&text, &mut raw);
+    if rules.wall_clock != WallClock::Off {
+        check_wall_clock(&text, rules.wall_clock, &mut raw);
     }
     check_safety(&text, &mut raw);
     if rules.lock_io {
@@ -210,12 +234,30 @@ fn check_no_unwrap(text: &FileText, out: &mut Vec<Violation>) {
     }
 }
 
-fn check_wall_clock(text: &FileText, out: &mut Vec<Violation>) {
+fn check_wall_clock(text: &FileText, scope: WallClock, out: &mut Vec<Violation>) {
     for (i, l) in text.lines.iter().enumerate() {
         if l.in_test {
             continue;
         }
-        if find_token(&l.code, "SystemTime") || l.code.contains("Instant::now") {
+        if find_token(&l.code, "SystemTime") {
+            let message = match scope {
+                WallClock::AllowInstant => {
+                    "SystemTime in a crate waived only for Instant::now — telemetry \
+                     may read the monotonic clock, never calendar time"
+                }
+                _ => {
+                    "wall-clock time in deterministic code — use the simulator's \
+                     virtual clock or move this to bench/workloads"
+                }
+            };
+            out.push(Violation {
+                line: i + 1,
+                rule: "wall-clock",
+                message: message.to_string(),
+            });
+            continue;
+        }
+        if scope == WallClock::Deny && l.code.contains("Instant::now") {
             out.push(Violation {
                 line: i + 1,
                 rule: "wall-clock",
@@ -471,6 +513,21 @@ mod tests {
             lint("fn f() { let t = SystemTime::now(); }"),
             vec!["wall-clock"]
         );
+    }
+
+    #[test]
+    fn allow_instant_scope_permits_monotonic_only() {
+        let rules = CrateRules::serving().allow_instant();
+        // Instant::now is waived under the telemetry scope…
+        let r = audit_source("fn f() { let t = std::time::Instant::now(); }", &rules);
+        assert!(r.violations.is_empty());
+        // …but SystemTime is still a violation there…
+        let r = audit_source("fn f() { let t = SystemTime::now(); }", &rules);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "wall-clock");
+        // …and so are the other serving-path rules.
+        let r = audit_source("fn f() { x.unwrap(); }", &rules);
+        assert_eq!(r.violations[0].rule, "no-unwrap");
     }
 
     #[test]

@@ -14,6 +14,9 @@ struct Case {
     expect: &'static [&'static str],
     /// Expected annotated-allow count.
     expect_suppressed: usize,
+    /// Rule set the case runs under (most cases use the strict set;
+    /// the wall-clock-scoping cases use the telemetry waiver).
+    rules: CrateRules,
 }
 
 const CASES: &[Case] = &[
@@ -22,114 +25,160 @@ const CASES: &[Case] = &[
         source: "fn serve() { conn.next().unwrap(); }\n",
         expect: &["no-unwrap"],
         expect_suppressed: 0,
+        rules: CrateRules::strict(),
     },
     Case {
         name: "expect",
         source: "fn serve() { conn.next().expect(\"always there\"); }\n",
         expect: &["no-unwrap"],
         expect_suppressed: 0,
+        rules: CrateRules::strict(),
     },
     Case {
         name: "panic",
         source: "fn serve() { panic!(\"impossible\"); }\n",
         expect: &["no-unwrap"],
         expect_suppressed: 0,
+        rules: CrateRules::strict(),
     },
     Case {
         name: "todo",
         source: "fn serve() { todo!() }\n",
         expect: &["no-unwrap"],
         expect_suppressed: 0,
+        rules: CrateRules::strict(),
     },
     Case {
         name: "wall-clock-instant",
         source: "fn serve() { let t = std::time::Instant::now(); }\n",
         expect: &["wall-clock"],
         expect_suppressed: 0,
+        rules: CrateRules::strict(),
     },
     Case {
         name: "wall-clock-systemtime",
         source: "use std::time::SystemTime;\n",
         expect: &["wall-clock"],
         expect_suppressed: 0,
+        rules: CrateRules::strict(),
     },
     Case {
         name: "unsafe-without-safety",
         source: "fn serve() { unsafe { transmute(x) } }\n",
         expect: &["safety-comment"],
         expect_suppressed: 0,
+        rules: CrateRules::strict(),
     },
     Case {
         name: "unsafe-with-safety",
         source: "fn serve() {\n    // SAFETY: x is a valid bit pattern by construction\n    unsafe { transmute(x) }\n}\n",
         expect: &[],
         expect_suppressed: 0,
+        rules: CrateRules::strict(),
     },
     Case {
         name: "lock-held-across-io",
         source: "fn serve() {\n    let guard = engine.lock();\n    stream.write_all(&frame);\n}\n",
         expect: &["lock-across-io"],
         expect_suppressed: 0,
+        rules: CrateRules::strict(),
     },
     Case {
         name: "lock-and-io-one-statement",
         source: "fn serve() { engine.lock().unwrap_or_else(|e| e.into_inner()).flush(); }\n",
         expect: &["lock-across-io"],
         expect_suppressed: 0,
+        rules: CrateRules::strict(),
     },
     Case {
         name: "lock-released-before-io",
         source: "fn serve() {\n    let guard = engine.lock();\n    drop(guard);\n    stream.write_all(&frame);\n}\n",
         expect: &[],
         expect_suppressed: 0,
+        rules: CrateRules::strict(),
     },
     Case {
         name: "temporary-lock-chain-clean",
         source: "fn serve() {\n    let n = engine\n        .lock()\n        .unwrap_or_else(|e| e.into_inner())\n        .count();\n    stream.write_all(&frame);\n}\n",
         expect: &[],
         expect_suppressed: 0,
+        rules: CrateRules::strict(),
     },
     Case {
         name: "test-code-exempt",
         source: "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); panic!(); let t = std::time::Instant::now(); }\n}\n",
         expect: &[],
         expect_suppressed: 0,
+        rules: CrateRules::strict(),
     },
     Case {
         name: "strings-and-comments-exempt",
         source: "fn serve() {\n    // a comment may say unwrap() or panic!\n    let s = \"panic! at the .unwrap()\";\n    let r = r#\"Instant::now\"#;\n}\n",
         expect: &[],
         expect_suppressed: 0,
+        rules: CrateRules::strict(),
     },
     Case {
         name: "annotation-waives",
         source: "fn serve() {\n    // audit: allow(no-unwrap) — index checked two lines up\n    x.unwrap();\n}\n",
         expect: &[],
         expect_suppressed: 1,
+        rules: CrateRules::strict(),
     },
     Case {
         name: "annotation-needs-reason",
         source: "fn serve() {\n    // audit: allow(no-unwrap)\n    x.unwrap();\n}\n",
         expect: &["no-unwrap"],
         expect_suppressed: 0,
+        rules: CrateRules::strict(),
     },
     Case {
         name: "annotation-wrong-rule",
         source: "fn serve() {\n    // audit: allow(wall-clock) — not the right rule\n    x.unwrap();\n}\n",
         expect: &["no-unwrap"],
         expect_suppressed: 0,
+        rules: CrateRules::strict(),
+    },
+    Case {
+        name: "telemetry-instant-waived",
+        source: "fn observe() { let t = std::time::Instant::now(); }\n",
+        expect: &[],
+        expect_suppressed: 0,
+        rules: CrateRules::serving().allow_instant(),
+    },
+    Case {
+        name: "telemetry-systemtime-still-denied",
+        source: "fn observe() { let t = std::time::SystemTime::now(); }\n",
+        expect: &["wall-clock"],
+        expect_suppressed: 0,
+        rules: CrateRules::serving().allow_instant(),
+    },
+    Case {
+        name: "telemetry-other-rules-still-apply",
+        source: "fn observe() { ring.lock().unwrap(); }\n",
+        expect: &["no-unwrap"],
+        expect_suppressed: 0,
+        rules: CrateRules::serving().allow_instant(),
+    },
+    Case {
+        name: "instant-denied-outside-waiver",
+        source: "fn serve() { let t = std::time::Instant::now(); }\n",
+        expect: &["wall-clock"],
+        expect_suppressed: 0,
+        rules: CrateRules::serving(),
     },
     Case {
         name: "clean-file",
         source: "fn serve() -> Result<(), Error> {\n    let v = conn.next().ok_or(Error::Closed)?;\n    Ok(())\n}\n",
         expect: &[],
         expect_suppressed: 0,
+        rules: CrateRules::strict(),
     },
 ];
 
 /// Runs one case through the same entry point `run_audit` uses.
 fn check(case: &Case) -> Result<(), String> {
-    let report = audit_source(case.source, &CrateRules::strict());
+    let report = audit_source(case.source, &case.rules);
     let got: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
     if got != case.expect {
         return Err(format!(
